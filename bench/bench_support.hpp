@@ -1,0 +1,103 @@
+// Shared plumbing for the experiment binaries.
+#pragma once
+
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/rendezvous.hpp"
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+#include "graph/id_space.hpp"
+#include "sim/scheduler.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace fnr::bench {
+
+/// Standard experiment knobs shared by every binary.
+struct BenchConfig {
+  std::uint64_t reps = 5;
+  bool quick = false;
+  bool full = false;
+
+  [[nodiscard]] static BenchConfig from_cli(int argc, const char* const* argv) {
+    Cli cli(argc, argv);
+    BenchConfig config;
+    config.reps = static_cast<std::uint64_t>(cli.get_int("reps", 5));
+    config.quick = cli.get_flag("quick");
+    config.full = cli.get_flag("full");
+    cli.reject_unknown();
+    return config;
+  }
+
+  /// Scales a default sweep according to quick/full.
+  [[nodiscard]] std::vector<std::size_t> sizes(
+      std::vector<std::size_t> normal) const {
+    if (quick && normal.size() > 2) normal.resize(2);
+    if (full) normal.push_back(normal.back() * 2);
+    return normal;
+  }
+};
+
+/// δ ≈ n^exponent near-regular graph (the Theorem 1/2 workhorse).
+inline graph::Graph dense_family(std::size_t n, double exponent,
+                                 std::uint64_t seed) {
+  Rng rng(seed, 911);
+  const auto out = static_cast<std::size_t>(
+      std::max(2.0, std::pow(static_cast<double>(n), exponent) / 2.0));
+  return graph::make_near_regular(n, out, rng);
+}
+
+/// One strategy run on a random adjacent placement.
+inline core::RendezvousReport run_once(const graph::Graph& g,
+                                       core::Strategy strategy,
+                                       std::uint64_t seed,
+                                       core::Params params =
+                                           core::Params::practical()) {
+  Rng rng(seed, 3);
+  const auto placement = sim::random_adjacent_placement(g, rng);
+  core::RendezvousOptions options;
+  options.strategy = strategy;
+  options.params = params;
+  options.seed = seed;
+  return core::run_rendezvous(g, placement, options);
+}
+
+/// Repeats a run and summarizes the meeting rounds of successful runs.
+struct RepeatedOutcome {
+  Summary rounds;
+  std::uint64_t failures = 0;
+};
+
+template <typename RunFn>
+RepeatedOutcome repeat(std::uint64_t reps, RunFn&& run) {
+  RepeatedOutcome outcome;
+  std::vector<double> rounds;
+  for (std::uint64_t rep = 0; rep < reps; ++rep) {
+    const sim::RunResult result = run(rep + 1);
+    if (result.met) {
+      rounds.push_back(static_cast<double>(result.meeting_round));
+    } else {
+      ++outcome.failures;
+    }
+  }
+  outcome.rounds = summarize(rounds);
+  return outcome;
+}
+
+inline void print_header(const std::string& title, const std::string& claim) {
+  std::cout << "## " << title << "\n\n" << claim << "\n\n";
+}
+
+inline void print_fit(const char* label, const std::vector<double>& xs,
+                      const std::vector<double>& ys) {
+  if (xs.size() < 2) return;
+  const auto fit = fit_power_law(xs, ys);
+  std::cout << label << ": rounds ~ n^" << format_double(fit.exponent, 2)
+            << " (R^2 = " << format_double(fit.r_squared, 3) << ")\n\n";
+}
+
+}  // namespace fnr::bench

@@ -1,0 +1,55 @@
+// E11 — resource accounting (§2.1 claims).
+//
+// Paper claims: the algorithms use O(n log n) bits of agent memory and
+// O(log n) bits per whiteboard. The simulator tracks a per-agent
+// memory-word proxy (64-bit words across all live containers) and exact
+// whiteboard usage; this bench reports both against the claimed budgets.
+#include "bench_support.hpp"
+
+using namespace fnr;
+
+int main(int argc, char** argv) {
+  const auto config = bench::BenchConfig::from_cli(argc, argv);
+  bench::print_header(
+      "E11 — resource usage (near-regular, delta ~ n^0.78)",
+      "Expected shape: peak agent memory grows ~linearly in n words "
+      "(= O(n log n) bits); whiteboards hold one vertex ID each "
+      "(<= 64 bits vs the O(log n) claim); agent b stays O(1).");
+
+  Table table({"n", "strategy", "peak a (words)", "words/n", "peak b (words)",
+               "boards used", "writes", "bits/board"});
+
+  for (const auto n : config.sizes({256, 512, 1024, 2048})) {
+    const auto g = bench::dense_family(n, 0.78, 1100 + n);
+    for (const auto strategy :
+         {core::Strategy::Whiteboard, core::Strategy::NoWhiteboard}) {
+      std::vector<double> peak_a, peak_b, boards, writes;
+      for (std::uint64_t rep = 1; rep <= config.reps; ++rep) {
+        const auto report = bench::run_once(g, strategy, rep * 7 + n);
+        if (!report.run.met) continue;
+        peak_a.push_back(static_cast<double>(
+            report.run.metrics.peak_memory_words[0]));
+        peak_b.push_back(static_cast<double>(
+            report.run.metrics.peak_memory_words[1]));
+        boards.push_back(
+            static_cast<double>(report.run.metrics.whiteboards_used));
+        writes.push_back(
+            static_cast<double>(report.run.metrics.whiteboard_writes));
+      }
+      const double a_med = summarize(peak_a).median;
+      table.add_row(RowBuilder()
+                        .add(std::uint64_t{n})
+                        .add(core::to_string(strategy))
+                        .add(a_med, 0)
+                        .add(a_med / static_cast<double>(n), 2)
+                        .add(summarize(peak_b).median, 0)
+                        .add(summarize(boards).median, 0)
+                        .add(summarize(writes).median, 0)
+                        .add(strategy == core::Strategy::Whiteboard ? "64"
+                                                                    : "0")
+                        .build());
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

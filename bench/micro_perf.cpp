@@ -1,0 +1,97 @@
+// E12 — substrate micro-benchmarks (google-benchmark).
+//
+// Context for the experiment tables: how fast the simulator itself is
+// (graph generation, scheduler round throughput, Sample bookkeeping, BFS).
+#include <benchmark/benchmark.h>
+
+#include "baselines/random_walk.hpp"
+#include "core/knowledge.hpp"
+#include "core/sample.hpp"
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace fnr {
+namespace {
+
+void BM_GraphGenNearRegular(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    Rng rng(++seed);
+    auto g = graph::make_near_regular(n, 16, rng);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_GraphGenNearRegular)->Arg(1024)->Arg(8192);
+
+void BM_GraphGenComplete(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto g = graph::make_complete(n);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+}
+BENCHMARK(BM_GraphGenComplete)->Arg(256)->Arg(1024);
+
+void BM_SchedulerRoundThroughput(benchmark::State& state) {
+  Rng rng(7);
+  const auto g = graph::make_near_regular(
+      static_cast<std::size_t>(state.range(0)), 8, rng);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    sim::Scheduler scheduler(g, sim::Model::port_only());
+    baselines::RandomWalkAgent a(Rng(++seed, 1), 0.0);
+    baselines::RandomWalkAgent b(Rng(seed, 2), 0.0);
+    // Fixed round budget; the walk rarely meets that fast on a big graph.
+    const auto result =
+        scheduler.run(a, b, sim::Placement{0, 1}, 10000);
+    benchmark::DoNotOptimize(result.metrics.rounds);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          10000);
+}
+BENCHMARK(BM_SchedulerRoundThroughput)->Arg(4096);
+
+void BM_BfsDistances(benchmark::State& state) {
+  Rng rng(3);
+  const auto g = graph::make_near_regular(
+      static_cast<std::size_t>(state.range(0)), 8, rng);
+  for (auto _ : state) {
+    auto dist = graph::bfs_distances(g, 0);
+    benchmark::DoNotOptimize(dist.data());
+  }
+}
+BENCHMARK(BM_BfsDistances)->Arg(4096)->Arg(65536);
+
+void BM_EdgeAtSlot(benchmark::State& state) {
+  Rng rng(5);
+  const auto g = graph::make_near_regular(8192, 16, rng);
+  std::uint64_t slot = 0;
+  const std::uint64_t slots = 2 * g.num_edges();
+  for (auto _ : state) {
+    slot = (slot + 7919) % slots;
+    benchmark::DoNotOptimize(g.edge_at_slot(slot));
+  }
+}
+BENCHMARK(BM_EdgeAtSlot);
+
+void BM_ClosedNeighborhoodIntersection(benchmark::State& state) {
+  Rng rng(11);
+  const auto g = graph::make_near_regular(4096, 64, rng);
+  graph::VertexIndex u = 0;
+  for (auto _ : state) {
+    u = (u + 1) % 4096;
+    benchmark::DoNotOptimize(
+        graph::closed_neighborhood_intersection(g, u, (u * 13 + 1) % 4096));
+  }
+}
+BENCHMARK(BM_ClosedNeighborhoodIntersection);
+
+}  // namespace
+}  // namespace fnr
+
+BENCHMARK_MAIN();

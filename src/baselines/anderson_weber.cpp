@@ -1,0 +1,52 @@
+#include "baselines/anderson_weber.hpp"
+
+#include "util/check.hpp"
+
+namespace fnr::baselines {
+
+namespace {
+
+/// Uniform member of N(here) on a complete graph (every other vertex).
+std::size_t uniform_port(const sim::View& view, Rng& rng) {
+  FNR_CHECK_MSG(view.degree() + 1 == view.num_vertices(),
+                "Anderson-Weber baseline requires a complete graph");
+  return rng.below(view.degree());
+}
+
+}  // namespace
+
+sim::Action AndersonWeberAgentA::step(const sim::View& view) {
+  if (!init_) {
+    home_ = view.here();
+    init_ = true;
+  }
+  if (sitting_) return sim::Action::stay();
+  // Read here; if marked, walk to b's start and camp.
+  if (const auto mark = view.whiteboard(); mark.has_value()) {
+    if (*mark == view.here()) {
+      sitting_ = true;  // already standing on v₀ᵇ
+      return sim::Action::stay();
+    }
+    sitting_ = true;
+    return sim::Action::move(view.port_of(*mark));
+  }
+  return sim::Action::move(uniform_port(view, rng_));
+}
+
+sim::Action AndersonWeberAgentB::step(const sim::View& view) {
+  if (!init_) {
+    home_ = view.here();
+    init_ = true;
+  }
+  if (view.here() == home_) {
+    // Head to a uniform random vertex to mark.
+    return sim::Action::move(uniform_port(view, rng_));
+  }
+  // Stamp it and return home so a camping partner can be met.
+  sim::Action action;
+  action.whiteboard_write = home_;
+  action.move_port = view.port_of(home_);
+  return action;
+}
+
+}  // namespace fnr::baselines

@@ -1,0 +1,43 @@
+// Anderson–Weber-style rendezvous on complete graphs — the paper's closest
+// prior work ([6], §1.3): O(√n) expected rounds using whiteboards.
+//
+// With vertex IDs available our rendition is the natural asymmetric variant:
+// agent b repeatedly writes its start ID on uniform random vertices, agent a
+// repeatedly reads uniform random vertices; a birthday-paradox collision
+// happens after Θ(√n) probes and then a walks to b's start. The paper's
+// Main-Rendezvous degenerates to exactly this when Tᵃ = V, so this baseline
+// doubles as the "complete graph" sanity anchor for Theorem 1.
+// Only valid on complete graphs (every vertex is a neighbor).
+#pragma once
+
+#include "sim/view.hpp"
+#include "util/rng.hpp"
+
+namespace fnr::baselines {
+
+class AndersonWeberAgentA final : public sim::Agent {
+ public:
+  explicit AndersonWeberAgentA(Rng rng) : rng_(rng) {}
+  sim::Action step(const sim::View& view) override;
+  [[nodiscard]] std::size_t memory_words() const override { return 4; }
+
+ private:
+  Rng rng_;
+  bool init_ = false;
+  graph::VertexId home_ = 0;
+  bool sitting_ = false;
+};
+
+class AndersonWeberAgentB final : public sim::Agent {
+ public:
+  explicit AndersonWeberAgentB(Rng rng) : rng_(rng) {}
+  sim::Action step(const sim::View& view) override;
+  [[nodiscard]] std::size_t memory_words() const override { return 2; }
+
+ private:
+  Rng rng_;
+  bool init_ = false;
+  graph::VertexId home_ = 0;
+};
+
+}  // namespace fnr::baselines

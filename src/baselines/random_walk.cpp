@@ -1,0 +1,2 @@
+// RandomWalkAgent is header-only; see random_walk.hpp.
+#include "baselines/random_walk.hpp"

@@ -1,0 +1,32 @@
+// Random-walk meeting baseline: both agents take independent uniform random
+// steps every round (the classic "meeting time" setting of Bshouty et al. /
+// Tetali-Winkler cited in §1.3). Needs only port numbers.
+#pragma once
+
+#include "sim/view.hpp"
+#include "util/rng.hpp"
+
+namespace fnr::baselines {
+
+class RandomWalkAgent final : public sim::Agent {
+ public:
+  /// lazy_probability: chance to stay put a round (a lazy walk avoids the
+  /// parity lock on bipartite graphs where two synchronized walkers can
+  /// never co-locate).
+  explicit RandomWalkAgent(Rng rng, double lazy_probability = 0.5)
+      : rng_(rng), lazy_probability_(lazy_probability) {}
+
+  sim::Action step(const sim::View& view) override {
+    if (view.degree() == 0 || rng_.bernoulli(lazy_probability_))
+      return sim::Action::stay();
+    return sim::Action::move(rng_.below(view.degree()));
+  }
+
+  [[nodiscard]] std::size_t memory_words() const override { return 1; }
+
+ private:
+  Rng rng_;
+  double lazy_probability_;
+};
+
+}  // namespace fnr::baselines

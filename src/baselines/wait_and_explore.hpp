@@ -1,0 +1,36 @@
+// The exhaustive-search strategy the paper contrasts with (§1.1): agent b
+// halts, agent a explores the whole graph. With neighborhood IDs (KT1) the
+// exploration is an online DFS over vertex IDs: move to the smallest-ID
+// unvisited neighbor, else backtrack; every vertex is reached within 2(n-1)
+// rounds. This is the Θ(n)-round yardstick that the paper's algorithms beat
+// on dense graphs and that the lower-bound instances show is unavoidable in
+// the degraded models.
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "sim/view.hpp"
+
+namespace fnr::baselines {
+
+class ExploreAgent final : public sim::Agent {
+ public:
+  sim::Action step(const sim::View& view) override;
+
+  [[nodiscard]] std::size_t visited_count() const noexcept {
+    return visited_.size();
+  }
+  /// True once the DFS stack emptied (every reachable vertex was seen).
+  [[nodiscard]] bool finished() const noexcept { return finished_; }
+  [[nodiscard]] std::size_t memory_words() const override {
+    return visited_.size() + path_.size() + 2;
+  }
+
+ private:
+  std::unordered_set<graph::VertexId> visited_;
+  std::vector<graph::VertexId> path_;  // DFS stack of vertex IDs
+  bool finished_ = false;
+};
+
+}  // namespace fnr::baselines

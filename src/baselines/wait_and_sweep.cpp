@@ -1,0 +1,24 @@
+#include "baselines/wait_and_sweep.hpp"
+
+#include "util/check.hpp"
+
+namespace fnr::baselines {
+
+sim::Action SweepAgent::step(const sim::View& view) {
+  if (outbound_done_) {
+    // Standing on a neighbor of home: backtrack through the arrival port.
+    outbound_done_ = false;
+    const auto back = view.arrival_port();
+    FNR_CHECK_MSG(back.has_value(), "sweep expected to have just moved");
+    return sim::Action::move(*back);
+  }
+  if (next_port_ >= view.degree()) {
+    // Swept everything without meeting; with a waiting partner at distance 1
+    // this is unreachable. Halt in place (the run will hit its cap).
+    return sim::Action::stay();
+  }
+  outbound_done_ = true;
+  return sim::Action::move(next_port_++);
+}
+
+}  // namespace fnr::baselines

@@ -1,0 +1,31 @@
+// The trivial O(Δ) upper bound the paper opens with: agent b halts at its
+// start, agent a visits every neighbor in port order (out and back, two
+// rounds per neighbor). Works in the weakest model (no IDs, no whiteboards)
+// and meets within 2·deg(v₀ᵃ) rounds on any distance-1 instance.
+#pragma once
+
+#include "sim/view.hpp"
+
+namespace fnr::baselines {
+
+/// Agent that never moves (used by several baselines as agent b).
+class WaitingAgent final : public sim::Agent {
+ public:
+  sim::Action step(const sim::View&) override { return sim::Action::stay(); }
+  [[nodiscard]] std::size_t memory_words() const override { return 0; }
+};
+
+/// Agent a of the trivial algorithm: sweep all ports of the start vertex.
+class SweepAgent final : public sim::Agent {
+ public:
+  sim::Action step(const sim::View& view) override;
+  [[nodiscard]] std::size_t memory_words() const override { return 2; }
+  /// Ports already swept.
+  [[nodiscard]] std::size_t swept() const noexcept { return next_port_; }
+
+ private:
+  bool outbound_done_ = false;  // true while standing on a neighbor
+  std::size_t next_port_ = 0;
+};
+
+}  // namespace fnr::baselines

@@ -1,0 +1,157 @@
+#include "core/construct.hpp"
+
+#include <algorithm>
+
+namespace fnr::core {
+
+ConstructRun::ConstructRun(Knowledge& knowledge, const Params& params,
+                           double delta_hat, std::size_t n)
+    : knowledge_(knowledge), params_(params), delta_hat_(delta_hat), n_(n) {
+  FNR_CHECK_MSG(delta_hat_ >= 1.0, "delta_hat must be >= 1");
+  // S¹ = {v₀ᵃ}: the home vertex is adopted from the start and never a
+  // candidate.
+  adopted_.insert(knowledge_.home());
+  rebuild_r();
+  // Γ¹ = N+(S¹) \ N+(S⁰) = N+(v₀ᵃ), which is NS at initialization time.
+  // (With the optimistic decision ablated the first run is already the
+  // full strict sample — identical here since NS = N+(v₀ᵃ).)
+  start_sample(knowledge_.ns_list(),
+               /*strict=*/!params_.optimistic_decision);
+  if (params_.optimistic_decision)
+    stats_.optimistic_runs = 1;
+  else
+    stats_.strict_runs = 1;
+}
+
+void ConstructRun::start_sample(std::vector<graph::VertexId> gamma,
+                                bool strict) {
+  current_sample_strict_ = strict;
+  const double alpha = delta_hat_ / params_.heavy_divisor;
+  sample_ = std::make_unique<SampleRun>(std::move(gamma), alpha, n_, params_);
+  stage_ = Stage::Sampling;
+}
+
+std::optional<graph::VertexId> ConstructRun::next_target(Rng& rng) {
+  while (true) {
+    if (adopt_target_.has_value()) {
+      pending_ = Pending::AdoptVisit;
+      return *adopt_target_;
+    }
+    switch (stage_) {
+      case Stage::Sampling: {
+        if (auto target = sample_->next_target(rng)) {
+          pending_ = Pending::SampleVisit;
+          ++stats_.sample_visits;
+          return target;
+        }
+        finish_sample();
+        break;
+      }
+      case Stage::Probing: {
+        if (r_.empty()) {  // defensive; R is checked on entry
+          stage_ = Stage::Done;
+          break;
+        }
+        if (probes_left_ > 0) {
+          --probes_left_;
+          probe_target_ = r_[rng.below(r_.size())];
+          pending_ = Pending::ProbeVisit;
+          ++stats_.probe_visits;
+          return probe_target_;
+        }
+        // Every probe came back heavy: strict decision over all of N+(Sᵃ).
+        ++stats_.strict_runs;
+        start_sample(knowledge_.ns_list(), /*strict=*/true);
+        break;
+      }
+      case Stage::Done:
+        return std::nullopt;
+    }
+  }
+}
+
+void ConstructRun::finish_sample() {
+  for (const auto u : sample_->heavy_output(knowledge_)) heavy_.insert(u);
+  const bool was_strict = current_sample_strict_;
+  sample_.reset();
+  rebuild_r();
+  if (r_.empty()) {
+    stage_ = Stage::Done;
+    return;
+  }
+  if (was_strict) {
+    // "choose any vertex x_i ∈ R_{i+1}": it must still be visited so its
+    // neighborhood can be recorded.
+    adopt_target_ = r_.front();
+    return;  // handled at the top of next_target
+  }
+  probes_left_ = params_.construct_probes(n_);
+  stage_ = Stage::Probing;
+}
+
+void ConstructRun::on_arrival(const sim::View& view) {
+  switch (pending_) {
+    case Pending::SampleVisit:
+      FNR_CHECK(sample_ != nullptr);
+      sample_->record_visit(view, knowledge_);
+      break;
+    case Pending::ProbeVisit: {
+      FNR_CHECK_MSG(view.here() == probe_target_,
+                    "arrived at " << view.here() << " instead of probe target "
+                                  << probe_target_);
+      // Exact lightness check: |N+(Sᵃ) ∩ N+(u)| against δ/2, computed from
+      // the stored NS and the neighborhood visible at u.
+      std::uint64_t overlap = knowledge_.in_ns(view.here()) ? 1 : 0;
+      for (const auto w : view.neighbor_ids())
+        if (knowledge_.in_ns(w)) ++overlap;
+      if (static_cast<double>(overlap) <
+          delta_hat_ / params_.light_divisor) {
+        adopt(view);
+      }
+      break;
+    }
+    case Pending::AdoptVisit:
+      FNR_CHECK(adopt_target_.has_value() && view.here() == *adopt_target_);
+      adopt_target_.reset();
+      adopt(view);
+      break;
+    case Pending::None:
+      FNR_CHECK_MSG(false, "on_arrival without a pending visit");
+  }
+  pending_ = Pending::None;
+}
+
+void ConstructRun::adopt(const sim::View& view) {
+  const graph::VertexId x = view.here();
+  FNR_ASSERT(knowledge_.in_home_closed(x));
+  adopted_.insert(x);
+  ++stats_.iterations;
+  gamma_next_ = knowledge_.absorb_neighborhood(x, view.neighbor_ids());
+  rebuild_r();
+  probes_left_ = 0;
+  if (params_.optimistic_decision) {
+    ++stats_.optimistic_runs;
+    start_sample(std::move(gamma_next_), /*strict=*/false);
+  } else {
+    // Ablation: re-sample the whole of N+(Sᵃ) every iteration.
+    ++stats_.strict_runs;
+    start_sample(knowledge_.ns_list(), /*strict=*/true);
+  }
+  gamma_next_.clear();
+}
+
+void ConstructRun::rebuild_r() {
+  r_.clear();
+  auto consider = [&](graph::VertexId u) {
+    if (!heavy_.contains(u) && !adopted_.contains(u)) r_.push_back(u);
+  };
+  consider(knowledge_.home());
+  for (const auto u : knowledge_.home_neighbors()) consider(u);
+}
+
+std::size_t ConstructRun::memory_words() const noexcept {
+  return r_.size() + heavy_.size() + adopted_.size() + gamma_next_.size() +
+         (sample_ ? sample_->memory_words() : 0) + knowledge_.memory_words();
+}
+
+}  // namespace fnr::core

@@ -1,0 +1,105 @@
+// Algorithm 3 — Construct: building the (a, δ/8, 2)-dense set Tᵃ.
+//
+// Agent a grows Sᵃ ⊆ N+(v₀ᵃ) one vertex per iteration. Each iteration:
+//   1. optimistic run: Sample over the *new* part of N+(Sᵃ) only, merging
+//      the discovered heavy vertices into H and shrinking R = N+(v₀ᵃ)\H;
+//   2. direct probes: ⌈4 log n⌉ uniform candidates from R are visited and
+//      their |N+(Sᵃ) ∩ N+(u)| computed exactly; a (δ/2)-light one becomes
+//      the next xᵢ;
+//   3. strict run (only if every probe was heavy): Sample over all of
+//      N+(Sᵃ)), after which any surviving member of R is taken as xᵢ.
+// When R empties, T^a = N+(Sᵃ) satisfies the (a, δ/8, 2)-dense condition
+// w.h.p. (Lemmas 3-8).
+//
+// ConstructRun is driven like SampleRun: next_target()/on_arrival(). All
+// navigation (home→target→home) is the owning agent's job.
+//
+// One defensive deviation from the pseudocode: members already adopted into
+// Sᵃ are excluded from R. The paper re-derives R = N+(v₀ᵃ)\H each update,
+// which can transiently re-admit an adopted vertex after a failed Sample
+// classification (probability polynomially small); excluding them changes
+// no analyzed behaviour but makes termination unconditional.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "core/knowledge.hpp"
+#include "core/params.hpp"
+#include "core/sample.hpp"
+#include "sim/view.hpp"
+#include "util/rng.hpp"
+
+namespace fnr::core {
+
+/// Counters reported by the Construct experiments (E3).
+struct ConstructStats {
+  std::uint64_t iterations = 0;       ///< vertices adopted into Sᵃ
+  std::uint64_t optimistic_runs = 0;  ///< Sample calls on a difference set
+  std::uint64_t strict_runs = 0;      ///< Sample calls on all of N+(Sᵃ)
+  std::uint64_t sample_visits = 0;    ///< total Sample target visits
+  std::uint64_t probe_visits = 0;     ///< direct lightness probes
+  std::uint64_t rounds_used = 0;      ///< filled in by the agent
+};
+
+class ConstructRun {
+ public:
+  /// `knowledge` must already hold N+(home); delta_hat is the (estimated)
+  /// minimum degree used for all thresholds.
+  ConstructRun(Knowledge& knowledge, const Params& params, double delta_hat,
+               std::size_t n);
+
+  /// Next vertex agent a must visit, or nullopt when T^a is complete.
+  /// Performs all zero-round bookkeeping transitions internally.
+  [[nodiscard]] std::optional<graph::VertexId> next_target(Rng& rng);
+
+  /// Report arrival at the previously requested target.
+  void on_arrival(const sim::View& view);
+
+  [[nodiscard]] bool done() const noexcept { return stage_ == Stage::Done; }
+
+  /// T^a = N+(Sᵃ) (valid once done()). Lives in Knowledge::ns_list.
+  [[nodiscard]] const std::vector<graph::VertexId>& t_set() const {
+    FNR_CHECK_MSG(done(), "T^a requested before Construct finished");
+    return knowledge_.ns_list();
+  }
+
+  [[nodiscard]] const ConstructStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] double delta_hat() const noexcept { return delta_hat_; }
+
+  [[nodiscard]] std::size_t memory_words() const noexcept;
+
+ private:
+  enum class Stage { Sampling, Probing, Done };
+  enum class Pending { None, SampleVisit, ProbeVisit, AdoptVisit };
+
+  void start_sample(std::vector<graph::VertexId> gamma, bool strict);
+  void finish_sample();
+  /// Adopt the vertex we are standing on as xᵢ (records its neighborhood).
+  void adopt(const sim::View& view);
+  void rebuild_r();
+
+  Knowledge& knowledge_;
+  Params params_;
+  double delta_hat_;
+  std::size_t n_;
+
+  Stage stage_ = Stage::Sampling;
+  Pending pending_ = Pending::None;
+  bool current_sample_strict_ = false;
+
+  std::unique_ptr<SampleRun> sample_;
+  std::unordered_set<graph::VertexId> heavy_;    // H
+  std::unordered_set<graph::VertexId> adopted_;  // Sᵃ \ {home}
+  std::vector<graph::VertexId> r_;               // R, rebuilt after updates
+  std::uint64_t probes_left_ = 0;
+  graph::VertexId probe_target_ = 0;
+  std::optional<graph::VertexId> adopt_target_;  // strict-run xᵢ to visit
+  std::vector<graph::VertexId> gamma_next_;      // Γ for the next iteration
+
+  ConstructStats stats_;
+};
+
+}  // namespace fnr::core

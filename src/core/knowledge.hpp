@@ -1,0 +1,112 @@
+// Agent a's accumulated map of its two-hop neighborhood.
+//
+// Everything agent a ever learns lives here: its home vertex, the closed
+// neighborhood N+(v₀ᵃ), the growing covered set NS = N+(Sᵃ), and for every
+// discovered vertex at distance two a "via" midpoint enabling length-2
+// routes. The paper notes the shortest paths to T^a cost asymptotically no
+// more memory than the vertex list itself; the via map is exactly that.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/check.hpp"
+
+namespace fnr::core {
+
+class Knowledge {
+ public:
+  void init_home(graph::VertexId home,
+                 const std::vector<graph::VertexId>& neighbor_ids) {
+    home_ = home;
+    home_closed_.clear();
+    home_closed_.insert(home);
+    home_neighbors_ = neighbor_ids;
+    for (const auto id : neighbor_ids) home_closed_.insert(id);
+    reset_coverage();
+  }
+
+  /// Clears NS/via back to the freshly-initialized state (doubling restart).
+  void reset_coverage() {
+    ns_.clear();
+    ns_list_.clear();
+    via_.clear();
+    for (const auto id : home_closed_) {
+      ns_.insert(id);
+      ns_list_.push_back(id);
+    }
+  }
+
+  [[nodiscard]] graph::VertexId home() const noexcept { return home_; }
+  [[nodiscard]] const std::vector<graph::VertexId>& home_neighbors()
+      const noexcept {
+    return home_neighbors_;
+  }
+  [[nodiscard]] bool in_home_closed(graph::VertexId v) const {
+    return home_closed_.contains(v);
+  }
+  [[nodiscard]] std::size_t home_closed_size() const noexcept {
+    return home_closed_.size();
+  }
+
+  [[nodiscard]] bool in_ns(graph::VertexId v) const { return ns_.contains(v); }
+  [[nodiscard]] std::size_t ns_size() const noexcept { return ns_.size(); }
+  /// NS as a list (insertion order, duplicates impossible).
+  [[nodiscard]] const std::vector<graph::VertexId>& ns_list() const noexcept {
+    return ns_list_;
+  }
+
+  /// Absorbs N+(x) for a newly adopted x ∈ N+(home); returns the vertices
+  /// that are new to NS (the Γ of the next optimistic Sample run).
+  std::vector<graph::VertexId> absorb_neighborhood(
+      graph::VertexId x, const std::vector<graph::VertexId>& x_neighbors) {
+    std::vector<graph::VertexId> fresh;
+    auto add = [&](graph::VertexId w) {
+      if (ns_.insert(w).second) {
+        ns_list_.push_back(w);
+        fresh.push_back(w);
+        if (!home_closed_.contains(w)) via_.emplace(w, x);
+      }
+    };
+    add(x);  // x ∈ N+(home), so normally present already
+    for (const auto w : x_neighbors) add(w);
+    return fresh;
+  }
+
+  /// Route from home to any w ∈ NS (0, 1, or 2 hops).
+  [[nodiscard]] std::vector<graph::VertexId> route_from_home(
+      graph::VertexId w) const {
+    if (w == home_) return {};
+    if (home_closed_.contains(w)) return {w};
+    const auto it = via_.find(w);
+    FNR_CHECK_MSG(it != via_.end(), "no known route to vertex " << w);
+    return {it->second, w};
+  }
+
+  /// Route from w ∈ NS back home (reverse of route_from_home).
+  [[nodiscard]] std::vector<graph::VertexId> route_to_home(
+      graph::VertexId w) const {
+    if (w == home_) return {};
+    if (home_closed_.contains(w)) return {home_};
+    const auto it = via_.find(w);
+    FNR_CHECK_MSG(it != via_.end(), "no known route back from vertex " << w);
+    return {it->second, home_};
+  }
+
+  [[nodiscard]] std::size_t memory_words() const noexcept {
+    return home_neighbors_.size() + home_closed_.size() + 2 * via_.size() +
+           2 * ns_.size();
+  }
+
+ private:
+  graph::VertexId home_ = 0;
+  std::vector<graph::VertexId> home_neighbors_;
+  std::unordered_set<graph::VertexId> home_closed_;
+  std::unordered_set<graph::VertexId> ns_;
+  std::vector<graph::VertexId> ns_list_;
+  std::unordered_map<graph::VertexId, graph::VertexId> via_;
+};
+
+}  // namespace fnr::core

@@ -1,0 +1,213 @@
+#include "core/no_whiteboard.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace fnr::core {
+
+NoWbSchedule NoWbSchedule::make(std::size_t n, graph::VertexId id_bound,
+                                double delta, const Params& params) {
+  NoWbSchedule s;
+  s.t_start = params.construct_round_budget(n, delta);
+  s.beta = params.block_width(delta);
+  s.num_blocks = (id_bound + s.beta - 1) / s.beta;
+  s.block_cap = params.block_cap(n);
+  s.a_wait = params.a_wait_rounds(n);
+  s.phase_len = params.phase_rounds(n);
+  return s;
+}
+
+std::vector<std::vector<graph::VertexId>> build_blocks(
+    const std::vector<graph::VertexId>& ids, const NoWbSchedule& schedule) {
+  std::vector<std::vector<graph::VertexId>> blocks(schedule.num_blocks);
+  for (const auto id : ids) {
+    const std::uint64_t block = id / schedule.beta;
+    FNR_CHECK_MSG(block < schedule.num_blocks,
+                  "ID " << id << " outside the agreed ID space");
+    blocks[block].push_back(id);
+  }
+  for (auto& block : blocks) {
+    std::sort(block.begin(), block.end());
+    if (block.size() > schedule.block_cap) block.resize(schedule.block_cap);
+  }
+  return blocks;
+}
+
+// --- agent a ---------------------------------------------------------------
+
+NoWhiteboardAgentA::NoWhiteboardAgentA(const Params& params, double delta,
+                                       Rng rng, NoWbOracle oracle)
+    : params_(params), delta_(delta), rng_(rng), oracle_(std::move(oracle)) {
+  FNR_CHECK_MSG(delta_ >= 1.0, "Algorithm 4 needs the minimum degree");
+}
+
+void NoWhiteboardAgentA::on_idle(const sim::View& view) {
+  if (phase_ == Phase::Exhausted) return;
+
+  if (phase_ == Phase::Init) {
+    knowledge_.init_home(view.here(), view.neighbor_ids());
+    schedule_ = NoWbSchedule::make(view.num_vertices(), view.id_bound(),
+                                   delta_, params_);
+    if (oracle_.enabled) {
+      // Ablation path: adopt the supplied two-hop map as T^a and start the
+      // phase schedule immediately.
+      for (const auto& [x, nbrs] : oracle_.two_ball)
+        (void)knowledge_.absorb_neighborhood(x, nbrs);
+      schedule_.t_start = 0;
+      stats_.t_set_size = knowledge_.ns_list().size();
+      const double p = params_.mark_probability(delta_, view.num_vertices());
+      std::vector<graph::VertexId> phi;
+      for (const auto v : knowledge_.ns_list())
+        if (rng_.bernoulli(p)) phi.push_back(v);
+      blocks_ = build_blocks(phi, schedule_);
+      for (const auto& block : blocks_) phi_size_ += block.size();
+      phase_ = Phase::Tour;
+      return;
+    }
+    construct_ = std::make_unique<ConstructRun>(knowledge_, params_, delta_,
+                                                view.num_vertices());
+    phase_ = Phase::Construct;
+  }
+
+  if (view.here() != knowledge_.home()) {
+    if (phase_ == Phase::Construct) {
+      construct_->on_arrival(view);
+      plan_route(knowledge_.route_to_home(view.here()));
+    } else {
+      // Tour arrival at a Φᵃ vertex: sit out the agreed window, then return.
+      plan_wait(schedule_.a_wait);
+      plan_route(knowledge_.route_to_home(view.here()));
+    }
+    return;
+  }
+
+  if (phase_ == Phase::Construct) {
+    drive_construct(view);
+    if (phase_ != Phase::Tour) return;  // still travelling for Construct
+    plan_wait_until(schedule_.t_start);
+    return;
+  }
+
+  // Tour, standing at home.
+  if (current_block_ >= schedule_.num_blocks) {
+    phase_ = Phase::Exhausted;  // schedule spent without a meeting
+    return;
+  }
+  auto& block = blocks_[current_block_];
+  if (current_pos_ < block.size()) {
+    const graph::VertexId u = block[current_pos_++];
+    if (u == knowledge_.home()) {
+      plan_wait(schedule_.a_wait);
+      return;
+    }
+    plan_route(knowledge_.route_from_home(u));
+    return;  // the sit is planned on arrival
+  }
+  // Block finished: hold position until the next phase boundary.
+  ++current_block_;
+  ++stats_.phases_used;
+  current_pos_ = 0;
+  plan_wait_until(schedule_.t_start + current_block_ * schedule_.phase_len);
+}
+
+void NoWhiteboardAgentA::drive_construct(const sim::View& view) {
+  while (auto target = construct_->next_target(rng_)) {
+    if (*target == view.here()) {
+      construct_->on_arrival(view);
+      continue;
+    }
+    plan_route(knowledge_.route_from_home(*target));
+    return;
+  }
+  stats_.construct = construct_->stats();
+  stats_.construct.rounds_used = view.round();
+  stats_.delta_hat_final = delta_;
+  stats_.t_set_size = construct_->t_set().size();
+  stats_.t_set_ids = construct_->t_set();
+  start_tour(view);
+}
+
+void NoWhiteboardAgentA::start_tour(const sim::View& view) {
+  FNR_CHECK_MSG(view.round() <= schedule_.t_start,
+                "Construct overran its budget t' = " << schedule_.t_start
+                                                     << " (round "
+                                                     << view.round() << ")");
+  const double p = params_.mark_probability(delta_, view.num_vertices());
+  std::vector<graph::VertexId> phi;
+  for (const auto v : construct_->t_set())
+    if (rng_.bernoulli(p)) phi.push_back(v);
+  blocks_ = build_blocks(phi, schedule_);
+  phi_size_ = 0;
+  for (const auto& block : blocks_) phi_size_ += block.size();
+  construct_.reset();
+  phase_ = Phase::Tour;
+  FNR_DEBUG("agent a: |Phi_a|=" << phi_size_ << ", t'=" << schedule_.t_start);
+}
+
+std::size_t NoWhiteboardAgentA::memory_words() const {
+  std::size_t blocks_words = 0;
+  for (const auto& block : blocks_) blocks_words += block.size();
+  return sim::ScriptedAgent::memory_words() + knowledge_.memory_words() +
+         blocks_words + (construct_ ? construct_->memory_words() : 0) + 16;
+}
+
+// --- agent b ---------------------------------------------------------------
+
+NoWhiteboardAgentB::NoWhiteboardAgentB(const Params& params, double delta,
+                                       Rng rng, bool synchronized_start)
+    : params_(params),
+      delta_(delta),
+      rng_(rng),
+      synchronized_start_(synchronized_start) {
+  FNR_CHECK_MSG(delta_ >= 1.0, "Algorithm 4 needs the minimum degree");
+}
+
+void NoWhiteboardAgentB::on_idle(const sim::View& view) {
+  if (!init_) {
+    home_ = view.here();
+    schedule_ = NoWbSchedule::make(view.num_vertices(), view.id_bound(),
+                                   delta_, params_);
+    const double p = params_.mark_probability(delta_, view.num_vertices());
+    std::vector<graph::VertexId> phi;
+    if (rng_.bernoulli(p)) phi.push_back(home_);
+    for (const auto u : view.neighbor_ids())
+      if (rng_.bernoulli(p)) phi.push_back(u);
+    if (!synchronized_start_) schedule_.t_start = 0;
+    blocks_ = build_blocks(phi, schedule_);
+    for (const auto& block : blocks_) phi_size_ += block.size();
+    init_ = true;
+    plan_wait_until(schedule_.t_start);
+    FNR_DEBUG("agent b: |Phi_b|=" << phi_size_ << ", t'="
+                                  << schedule_.t_start);
+    return;
+  }
+
+  if (current_block_ >= schedule_.num_blocks) return;  // schedule spent
+
+  const std::uint64_t phase_end = schedule_.phase_end(current_block_);
+  const auto& block = blocks_[current_block_];
+  // A visit costs 2 rounds (out + back); don't start one that can't finish.
+  if (block.empty() || view.round() + 2 > phase_end) {
+    ++current_block_;
+    current_pos_ = 0;
+    plan_wait_until(phase_end);
+    return;
+  }
+  const graph::VertexId u = block[current_pos_ % block.size()];
+  ++current_pos_;
+  if (u == home_) {
+    plan_wait(1);  // "visiting" home is just standing on it
+    return;
+  }
+  plan_move(u);
+  plan_move(home_);
+}
+
+std::size_t NoWhiteboardAgentB::memory_words() const {
+  std::size_t blocks_words = 0;
+  for (const auto& block : blocks_) blocks_words += block.size();
+  return sim::ScriptedAgent::memory_words() + blocks_words + 16;
+}
+
+}  // namespace fnr::core

@@ -1,0 +1,140 @@
+// Algorithm 4 — Rendezvous-without-Whiteboards (§4.2, Theorem 2).
+//
+// Requires tight naming (n' = O(n)) and known δ. Agent a runs Construct,
+// then both agents synchronize at round t' (a deterministic bound on
+// Construct's running time that both compute from n, δ and the Params).
+// Each agent keeps a random subset of candidate vertices:
+//   Φᵃ ⊆ Tᵃ,  Φᵇ ⊆ N+(v₀ᵇ),  each kept with probability ~4 ln n/√δ.
+// The ID space [0, n') is cut into blocks of width β = ⌈√δ⌉. In phase i,
+// agent a sits on each of its Φᵃ vertices with IDs in block i long enough
+// for b to complete a full marking pass, while b cycles through its Φᵇ
+// vertices in block i. Intersection + sparseness of the Φ sets (proved in
+// Theorem 2) guarantee a co-location in the block containing a common
+// member.
+//
+// Implementation notes (documented deviations):
+//  * per-block participation is truncated to the sparseness cap c₂·ln n;
+//    overflow would break the agreed slot arithmetic (the analysis shows
+//    overflow happens with probability O(1/n²));
+//  * a's per-vertex sit time is two full b-passes plus slack, making the
+//    "b completes a pass inside a's window" argument hold for any phase
+//    alignment without the paper's looser constant bookkeeping.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/construct.hpp"
+#include "core/knowledge.hpp"
+#include "core/main_rendezvous.hpp"  // AgentAStats
+#include "core/params.hpp"
+#include "sim/scripted_agent.hpp"
+#include "util/rng.hpp"
+
+namespace fnr::core {
+
+/// Shared schedule arithmetic — both agents must agree on every number here,
+/// computed only from (n, n', δ, params).
+struct NoWbSchedule {
+  std::uint64_t t_start = 0;      ///< t' — first round of phase 0
+  std::uint64_t beta = 1;         ///< block width
+  std::uint64_t num_blocks = 1;   ///< ⌈n'/β⌉
+  std::uint64_t block_cap = 1;    ///< max kept vertices per block
+  std::uint64_t a_wait = 1;       ///< a's sit time per vertex
+  std::uint64_t phase_len = 1;    ///< rounds per phase
+
+  [[nodiscard]] static NoWbSchedule make(std::size_t n,
+                                         graph::VertexId id_bound,
+                                         double delta, const Params& params);
+  [[nodiscard]] std::uint64_t phase_end(std::uint64_t block) const noexcept {
+    return t_start + (block + 1) * phase_len;
+  }
+  [[nodiscard]] std::uint64_t total_rounds() const noexcept {
+    return t_start + num_blocks * phase_len;
+  }
+};
+
+/// Groups `ids` into the schedule's ID blocks: ascending within a block,
+/// truncated to block_cap (sparseness).
+[[nodiscard]] std::vector<std::vector<graph::VertexId>> build_blocks(
+    const std::vector<graph::VertexId>& ids, const NoWbSchedule& schedule);
+
+/// Ablation hook (benches/tests): start the phase schedule immediately from
+/// a pre-supplied two-hop map instead of running Construct first. Isolates
+/// the phase mechanism whose (n/√δ)·log²n cost Theorem 2 bounds — in full
+/// end-to-end runs the agents usually stumble into each other during
+/// Construct long before the schedule begins.
+struct NoWbOracle {
+  /// For each x ∈ N(home): the IDs of N+(x) (defines T^a and the routes).
+  std::vector<std::pair<graph::VertexId, std::vector<graph::VertexId>>>
+      two_ball;
+  bool enabled = false;
+};
+
+class NoWhiteboardAgentA final : public sim::ScriptedAgent {
+ public:
+  NoWhiteboardAgentA(const Params& params, double delta, Rng rng,
+                     NoWbOracle oracle = {});
+
+  [[nodiscard]] const AgentAStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const NoWbSchedule& schedule() const noexcept {
+    return schedule_;
+  }
+  /// |Φᵃ| (after truncation; for the intersection experiments).
+  [[nodiscard]] std::size_t phi_size() const noexcept { return phi_size_; }
+  [[nodiscard]] std::size_t memory_words() const override;
+
+ protected:
+  void on_idle(const sim::View& view) override;
+
+ private:
+  enum class Phase { Init, Construct, Tour, Exhausted };
+
+  void drive_construct(const sim::View& view);
+  void start_tour(const sim::View& view);
+
+  Params params_;
+  double delta_;
+  Rng rng_;
+  NoWbOracle oracle_;
+
+  Phase phase_ = Phase::Init;
+  Knowledge knowledge_;
+  std::unique_ptr<ConstructRun> construct_;
+  NoWbSchedule schedule_;
+  std::vector<std::vector<graph::VertexId>> blocks_;
+  std::size_t phi_size_ = 0;
+  std::uint64_t current_block_ = 0;
+  std::size_t current_pos_ = 0;
+  AgentAStats stats_;
+};
+
+class NoWhiteboardAgentB final : public sim::ScriptedAgent {
+ public:
+  /// `synchronized_start` true keeps the paper's t' wait; false (the oracle
+  /// ablation) starts the phase schedule at round 0.
+  NoWhiteboardAgentB(const Params& params, double delta, Rng rng,
+                     bool synchronized_start = true);
+
+  [[nodiscard]] std::size_t phi_size() const noexcept { return phi_size_; }
+  [[nodiscard]] std::size_t memory_words() const override;
+
+ protected:
+  void on_idle(const sim::View& view) override;
+
+ private:
+  Params params_;
+  double delta_;
+  Rng rng_;
+  bool synchronized_start_;
+
+  bool init_ = false;
+  graph::VertexId home_ = 0;
+  NoWbSchedule schedule_;
+  std::vector<std::vector<graph::VertexId>> blocks_;
+  std::size_t phi_size_ = 0;
+  std::uint64_t current_block_ = 0;
+  std::size_t current_pos_ = 0;
+};
+
+}  // namespace fnr::core

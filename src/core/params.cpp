@@ -1,0 +1,119 @@
+#include "core/params.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace fnr::core {
+
+namespace {
+[[nodiscard]] double ln(std::size_t n) {
+  return std::log(std::max<std::size_t>(n, 2));
+}
+[[nodiscard]] double log2n(std::size_t n) {
+  return std::log2(std::max<std::size_t>(n, 2));
+}
+}  // namespace
+
+Params Params::paper() { return Params{}; }
+
+Params Params::practical() {
+  Params p;
+  p.sample_visit_factor = 8.0;
+  // Light expectation <= 8 ln n + 1, 4α-heavy expectation >= 32 ln n; the
+  // threshold 16 ln n keeps a 2x Chernoff margin on both sides.
+  p.sample_threshold_factor = 16.0;
+  p.probe_factor = 2.0;
+  p.mark_factor = 1.5;
+  p.c2 = 4.0;
+  p.c1 = 1.5;
+  return p;
+}
+
+std::string Params::describe() const {
+  std::ostringstream os;
+  os << "Params(sample=" << sample_visit_factor
+     << ", threshold=" << sample_threshold_factor << ", probes=" << probe_factor
+     << ", mark=" << mark_factor << ", c2=" << c2 << ", c1=" << c1 << ")";
+  return os.str();
+}
+
+std::uint64_t Params::sample_visits(std::size_t gamma_size, double alpha,
+                                    std::size_t n) const {
+  FNR_CHECK_MSG(alpha > 0, "Sample needs alpha > 0");
+  if (gamma_size == 0) return 0;
+  const double visits =
+      sample_visit_factor * static_cast<double>(gamma_size) * ln(n) / alpha;
+  return static_cast<std::uint64_t>(std::ceil(std::max(visits, 1.0)));
+}
+
+std::uint64_t Params::sample_threshold(std::size_t n) const {
+  return static_cast<std::uint64_t>(std::ceil(sample_threshold_factor * ln(n)));
+}
+
+std::uint64_t Params::construct_probes(std::size_t n) const {
+  return static_cast<std::uint64_t>(
+      std::ceil(std::max(probe_factor * log2n(n), 1.0)));
+}
+
+double Params::mark_probability(double delta, std::size_t n) const {
+  FNR_CHECK(delta >= 1);
+  return std::min(1.0, mark_factor * ln(n) / std::sqrt(delta));
+}
+
+std::uint64_t Params::block_width(double delta) const {
+  FNR_CHECK(delta >= 1);
+  return static_cast<std::uint64_t>(std::ceil(std::sqrt(delta)));
+}
+
+std::uint64_t Params::block_cap(std::size_t n) const {
+  return static_cast<std::uint64_t>(std::ceil(c2 * ln(n)));
+}
+
+std::uint64_t Params::b_pass_rounds(std::size_t n) const {
+  // b spends 2 rounds per marked vertex (out and back).
+  return 2 * block_cap(n);
+}
+
+std::uint64_t Params::a_wait_rounds(std::size_t n) const {
+  // Any window of this length contains at least one complete b-pass.
+  return 2 * b_pass_rounds(n) + 4;
+}
+
+std::uint64_t Params::phase_rounds(std::size_t n) const {
+  // Per vertex: <=4 travel rounds plus the sit; plus 4 rounds of slack for
+  // the return home at block end.
+  return block_cap(n) * (a_wait_rounds(n) + 4) + 4;
+}
+
+std::uint64_t Params::construct_round_budget(std::size_t n,
+                                             double delta) const {
+  FNR_CHECK(delta >= 1);
+  const double nd = static_cast<double>(n) / delta;
+  // Visits: optimistic passes cover each of <= n+Δ vertices once in total;
+  // strict runs repeat <= log2 n + 1 times over <= n vertices. Each visit
+  // costs <= 4 rounds (out <= 2, back <= 2); probes cost <= 4 rounds each.
+  const double visit_rounds = 4.0 * sample_visit_factor * heavy_divisor * nd *
+                              ln(n) * (log2n(n) + 2.0);
+  const double probe_rounds =
+      4.0 * probe_factor * log2n(n) * (2.0 * nd + 2.0);
+  const double budget = c1 * (visit_rounds + probe_rounds) + 64.0;
+  return static_cast<std::uint64_t>(std::ceil(budget));
+}
+
+double theorem1_bound(std::size_t n, double delta, double max_degree) {
+  FNR_CHECK(delta >= 1);
+  const double nn = static_cast<double>(n);
+  return nn / delta * ln(n) * ln(n) +
+         std::sqrt(nn * max_degree) / delta * ln(n);
+}
+
+double theorem2_bound(std::size_t n, double delta) {
+  FNR_CHECK(delta >= 1);
+  const double nn = static_cast<double>(n);
+  return nn / std::sqrt(delta) * ln(n) * ln(n);
+}
+
+}  // namespace fnr::core

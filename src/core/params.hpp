@@ -1,0 +1,92 @@
+// Every constant of the paper's pseudocode, as data.
+//
+// The paper fixes generous constants for clean Chernoff arguments
+// (Sample uses 96⌈|Γ|ln n/α⌉ visits against a 150·ln n threshold; Construct
+// probes ⌈4 log n⌉ candidates; the whiteboard-free algorithm marks with
+// probability 4 ln n/√δ and uses sparseness constant c₂ = 18). Those values
+// preserve w.h.p. guarantees but are far from tight; experiments also run a
+// `practical()` preset with smaller constants that keeps every inequality
+// the analysis needs (threshold strictly between the light and 4α-heavy
+// expectations) while making large sweeps affordable. EXPERIMENTS.md records
+// the preset used for each table.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fnr::core {
+
+struct Params {
+  // --- Sample(Γ, α) — Algorithm 2 ---------------------------------------
+  /// Visits = ceil(sample_visit_factor * |Γ| * ln n / α).
+  double sample_visit_factor = 96.0;
+  /// Heaviness threshold l = ceil(sample_threshold_factor * ln n).
+  double sample_threshold_factor = 150.0;
+
+  // --- Construct — Algorithm 3 -------------------------------------------
+  /// Per-iteration direct probes = ceil(probe_factor * log2 n).
+  double probe_factor = 4.0;
+  /// Ablation switch: false replaces the paper's two-step
+  /// optimistic-then-strict decision with a strict Sample over all of
+  /// N+(Sᵃ) every iteration — the naive O((n/δ)²) strategy §3.3 argues
+  /// against. Paper behaviour is true.
+  bool optimistic_decision = true;
+  /// "heavy" means (δ/heavy_divisor)-heavy (paper: 8).
+  double heavy_divisor = 8.0;
+  /// the direct lightness test uses δ/light_divisor (paper: 2).
+  double light_divisor = 2.0;
+
+  // --- Rendezvous-without-Whiteboards — Algorithm 4 ----------------------
+  /// Marking probability = min(1, mark_factor * ln n / sqrt(δ)).
+  double mark_factor = 4.0;
+  /// Sparseness constant: per-block participation cap = ceil(c2 * ln n).
+  double c2 = 18.0;
+  /// Construct-budget multiplier for the synchronized start time t'.
+  double c1 = 1.5;
+
+  /// The constants exactly as printed in the paper.
+  [[nodiscard]] static Params paper();
+  /// Smaller constants preserving every ordering the analysis relies on.
+  [[nodiscard]] static Params practical();
+
+  [[nodiscard]] std::string describe() const;
+
+  // --- derived quantities (shared by both agents; everything is computed
+  //     from knowledge the model grants: n, n', δ) -------------------------
+
+  /// Number of random visits Sample(Γ, α) performs.
+  [[nodiscard]] std::uint64_t sample_visits(std::size_t gamma_size,
+                                            double alpha,
+                                            std::size_t n) const;
+  /// Counter threshold l deciding heaviness after a Sample run.
+  [[nodiscard]] std::uint64_t sample_threshold(std::size_t n) const;
+  /// Probes per Construct iteration (⌈probe_factor·log₂ n⌉).
+  [[nodiscard]] std::uint64_t construct_probes(std::size_t n) const;
+  /// Φ marking probability (Algorithm 4).
+  [[nodiscard]] double mark_probability(double delta, std::size_t n) const;
+  /// ID-block width β = ⌈√δ⌉ (Algorithm 4).
+  [[nodiscard]] std::uint64_t block_width(double delta) const;
+  /// Per-block participation cap ⌈c2·ln n⌉ (sparseness property).
+  [[nodiscard]] std::uint64_t block_cap(std::size_t n) const;
+  /// Rounds agent b needs for one marking pass over a full block.
+  [[nodiscard]] std::uint64_t b_pass_rounds(std::size_t n) const;
+  /// Rounds agent a sits on each Φa vertex: two full b-passes plus slack.
+  [[nodiscard]] std::uint64_t a_wait_rounds(std::size_t n) const;
+  /// Length of one phase of Algorithm 4.
+  [[nodiscard]] std::uint64_t phase_rounds(std::size_t n) const;
+  /// Deterministic upper bound on Construct's running time; Algorithm 4
+  /// starts its phase schedule at this round (t' in the paper).
+  [[nodiscard]] std::uint64_t construct_round_budget(std::size_t n,
+                                                     double delta) const;
+};
+
+// --- analytic bounds used for "measured / bound" columns -------------------
+
+/// Theorem 1 shape: (n/δ)·ln²n + (√(nΔ)/δ)·ln n  (no leading constant).
+[[nodiscard]] double theorem1_bound(std::size_t n, double delta,
+                                    double max_degree);
+
+/// Theorem 2 shape: (n/√δ)·ln²n (no leading constant; excludes t').
+[[nodiscard]] double theorem2_bound(std::size_t n, double delta);
+
+}  // namespace fnr::core

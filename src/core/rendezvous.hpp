@@ -1,0 +1,58 @@
+// Public entry point: run one neighborhood-rendezvous instance end to end.
+//
+// Picks the agent pair for the requested strategy, wires up the scheduler
+// with the right Model, enforces the strategy's standing assumptions
+// (whiteboards, tight naming, known δ), and returns the run result together
+// with algorithm-level statistics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/main_rendezvous.hpp"
+#include "core/params.hpp"
+#include "graph/graph.hpp"
+#include "sim/scheduler.hpp"
+
+namespace fnr::core {
+
+enum class Strategy {
+  Whiteboard,          ///< Theorem 1 (agents know δ)
+  WhiteboardDoubling,  ///< Theorem 1 + §4.1 (δ estimated by doubling)
+  NoWhiteboard,        ///< Theorem 2 (tight naming, known δ, no whiteboards)
+};
+
+[[nodiscard]] const char* to_string(Strategy strategy) noexcept;
+
+struct RendezvousOptions {
+  Strategy strategy = Strategy::Whiteboard;
+  Params params = Params::practical();
+  /// Seed for both agents' private randomness (streams are split).
+  std::uint64_t seed = 1;
+  /// 0 → an automatically derived generous cap (see auto_round_cap).
+  std::uint64_t max_rounds = 0;
+};
+
+struct RendezvousReport {
+  sim::RunResult run;
+  AgentAStats agent_a;
+  std::uint64_t agent_b_marks = 0;  ///< whiteboard strategies only
+  double delta_used = 0.0;          ///< δ handed to (or estimated by) agents
+  std::uint64_t round_cap = 0;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Generous failure cap for the given strategy on this graph.
+[[nodiscard]] std::uint64_t auto_round_cap(const graph::Graph& g,
+                                           Strategy strategy,
+                                           const Params& params);
+
+/// Runs one instance. Placement must be two distinct vertices; the upper
+/// bounds assume distance 1 (checked). Throws CheckError when the graph /
+/// model cannot satisfy the strategy's assumptions.
+[[nodiscard]] RendezvousReport run_rendezvous(const graph::Graph& g,
+                                              sim::Placement placement,
+                                              const RendezvousOptions& options);
+
+}  // namespace fnr::core

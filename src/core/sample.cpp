@@ -1,0 +1,37 @@
+#include "core/sample.hpp"
+
+namespace fnr::core {
+
+SampleRun::SampleRun(std::vector<graph::VertexId> gamma, double alpha,
+                     std::size_t n, const Params& params)
+    : gamma_(std::move(gamma)),
+      visits_total_(params.sample_visits(gamma_.size(), alpha, n)),
+      threshold_(params.sample_threshold(n)) {}
+
+std::optional<graph::VertexId> SampleRun::next_target(Rng& rng) {
+  if (exhausted()) return std::nullopt;
+  ++visits_done_;
+  return gamma_[rng.below(gamma_.size())];
+}
+
+void SampleRun::record_visit(const sim::View& view,
+                             const Knowledge& knowledge) {
+  auto bump = [&](graph::VertexId u) {
+    if (knowledge.in_home_closed(u)) ++counts_[u];
+  };
+  bump(view.here());  // the visited vertex is in its own closed neighborhood
+  for (const auto u : view.neighbor_ids()) bump(u);
+}
+
+std::vector<graph::VertexId> SampleRun::heavy_output(
+    const Knowledge& knowledge) const {
+  (void)knowledge;  // referenced only by the debug assertion below
+  std::vector<graph::VertexId> heavy;
+  for (const auto& [u, count] : counts_) {
+    FNR_ASSERT(knowledge.in_home_closed(u));
+    if (count >= threshold_) heavy.push_back(u);
+  }
+  return heavy;
+}
+
+}  // namespace fnr::core

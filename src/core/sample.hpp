@@ -1,0 +1,65 @@
+// Algorithm 2 — Sample(Γ, α).
+//
+// Probabilistically classifies every u ∈ N+(v₀ᵃ) as α-heavy or (4α-)light
+// for a target set Γ by visiting ceil(f·|Γ|·ln n/α) vertices of Γ chosen
+// uniformly with replacement and counting, for each u, how many visited
+// vertices contain u in their closed neighborhood. Vertices whose counter
+// reaches the threshold l are output as heavy (Lemma 2 / Corollary 1).
+//
+// SampleRun is a passive state object: the owning agent asks next_target()
+// where to go and reports the view upon arrival via record_visit().
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/knowledge.hpp"
+#include "core/params.hpp"
+#include "sim/view.hpp"
+#include "util/rng.hpp"
+
+namespace fnr::core {
+
+class SampleRun {
+ public:
+  /// `gamma` is sampled by index; the caller guarantees every member is
+  /// reachable (gamma ⊆ NS). alpha > 0.
+  SampleRun(std::vector<graph::VertexId> gamma, double alpha, std::size_t n,
+            const Params& params);
+
+  /// Next vertex to visit, or nullopt once the visit budget is spent.
+  [[nodiscard]] std::optional<graph::VertexId> next_target(Rng& rng);
+
+  /// Report arrival at the last requested target: increments C[u] for every
+  /// u ∈ N+(target) ∩ N+(home).
+  void record_visit(const sim::View& view, const Knowledge& knowledge);
+
+  /// H' — members of N+(home) whose counter reached the threshold.
+  /// Meaningful once next_target() has returned nullopt.
+  [[nodiscard]] std::vector<graph::VertexId> heavy_output(
+      const Knowledge& knowledge) const;
+
+  [[nodiscard]] std::uint64_t visits_planned() const noexcept {
+    return visits_total_;
+  }
+  [[nodiscard]] std::uint64_t visits_done() const noexcept {
+    return visits_done_;
+  }
+  [[nodiscard]] bool exhausted() const noexcept {
+    return gamma_.empty() || visits_done_ == visits_total_;
+  }
+
+  [[nodiscard]] std::size_t memory_words() const noexcept {
+    return gamma_.size() + 2 * counts_.size();
+  }
+
+ private:
+  std::vector<graph::VertexId> gamma_;
+  std::uint64_t visits_total_ = 0;
+  std::uint64_t visits_done_ = 0;
+  std::uint64_t threshold_ = 0;
+  std::unordered_map<graph::VertexId, std::uint64_t> counts_;
+};
+
+}  // namespace fnr::core

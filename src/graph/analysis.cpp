@@ -1,0 +1,119 @@
+#include "graph/analysis.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_set>
+
+namespace fnr::graph {
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, VertexIndex source) {
+  FNR_CHECK(source < g.num_vertices());
+  std::vector<std::uint32_t> dist(g.num_vertices(), kUnreachable);
+  std::queue<VertexIndex> frontier;
+  dist[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const VertexIndex u = frontier.front();
+    frontier.pop();
+    for (const VertexIndex v : g.neighbors(u)) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = dist[u] + 1;
+        frontier.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::uint32_t distance(const Graph& g, VertexIndex u, VertexIndex v) {
+  FNR_CHECK(u < g.num_vertices() && v < g.num_vertices());
+  if (u == v) return 0;
+  // Early-exit BFS.
+  std::vector<std::uint32_t> dist(g.num_vertices(), kUnreachable);
+  std::queue<VertexIndex> frontier;
+  dist[u] = 0;
+  frontier.push(u);
+  while (!frontier.empty()) {
+    const VertexIndex w = frontier.front();
+    frontier.pop();
+    for (const VertexIndex x : g.neighbors(w)) {
+      if (dist[x] == kUnreachable) {
+        dist[x] = dist[w] + 1;
+        if (x == v) return dist[x];
+        frontier.push(x);
+      }
+    }
+  }
+  return kUnreachable;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_vertices() == 0) return true;
+  const auto dist = bfs_distances(g, 0);
+  return std::none_of(dist.begin(), dist.end(), [](std::uint32_t d) {
+    return d == kUnreachable;
+  });
+}
+
+std::size_t closed_neighborhood_intersection(const Graph& g, VertexIndex u,
+                                             VertexIndex v) {
+  FNR_CHECK(u < g.num_vertices() && v < g.num_vertices());
+  // Merge-count over sorted N(u), N(v); then account for the closures.
+  const auto nu = g.neighbors(u);
+  const auto nv = g.neighbors(v);
+  std::size_t count = 0;
+  std::size_t i = 0, j = 0;
+  while (i < nu.size() && j < nv.size()) {
+    if (nu[i] == nv[j]) {
+      ++count;
+      ++i;
+      ++j;
+    } else if (nu[i] < nv[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  // u itself: u ∈ N+(u) always; u ∈ N+(v) iff edge or u == v.
+  if (u == v) return g.degree(u) + 1;
+  if (g.has_edge(u, v)) count += 2;  // u and v each lie in both closures
+  return count;
+}
+
+bool validate_structure(const Graph& g) {
+  for (VertexIndex v = 0; v < g.num_vertices(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (nbrs[i] == v) return false;                       // self loop
+      if (i > 0 && nbrs[i - 1] >= nbrs[i]) return false;    // unsorted/dup
+      if (nbrs[i] >= g.num_vertices()) return false;        // out of range
+      if (!g.has_edge(nbrs[i], v)) return false;            // asymmetric
+    }
+  }
+  return true;
+}
+
+bool is_dense_set(const Graph& g, VertexIndex z_start,
+                  const std::vector<VertexIndex>& t_set, double alpha,
+                  std::uint32_t beta) {
+  const std::unordered_set<VertexIndex> t(t_set.begin(), t_set.end());
+  if (!t.contains(z_start)) return false;
+
+  const auto dist = bfs_distances(g, z_start);
+  for (const VertexIndex w : t_set)
+    if (dist[w] == kUnreachable || dist[w] > beta) return false;
+
+  // Every u in N+(z_start) must be alpha-heavy for T: |T ∩ N+(u)| >= alpha.
+  auto heavy = [&](VertexIndex u) {
+    std::size_t hits = t.contains(u) ? 1 : 0;
+    for (const VertexIndex w : g.neighbors(u))
+      if (t.contains(w)) ++hits;
+    return static_cast<double>(hits) >= alpha;
+  };
+  if (!heavy(z_start)) return false;
+  for (const VertexIndex u : g.neighbors(z_start))
+    if (!heavy(u)) return false;
+  return true;
+}
+
+}  // namespace fnr::graph

@@ -1,0 +1,41 @@
+// Structural analysis helpers (used by tests and experiment validation).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace fnr::graph {
+
+/// Distance sentinel for unreachable vertices.
+inline constexpr std::uint32_t kUnreachable = static_cast<std::uint32_t>(-1);
+
+/// BFS distances from `source` (kUnreachable where disconnected).
+[[nodiscard]] std::vector<std::uint32_t> bfs_distances(const Graph& g,
+                                                       VertexIndex source);
+
+/// Hop distance between u and v (kUnreachable if disconnected).
+[[nodiscard]] std::uint32_t distance(const Graph& g, VertexIndex u,
+                                     VertexIndex v);
+
+[[nodiscard]] bool is_connected(const Graph& g);
+
+/// |N+(u) ∩ N+(v)| — size of the closed-neighborhood intersection. The
+/// α-heaviness predicate of Definition 2 is phrased over such intersections.
+[[nodiscard]] std::size_t closed_neighborhood_intersection(const Graph& g,
+                                                           VertexIndex u,
+                                                           VertexIndex v);
+
+/// Checks CSR invariants: sorted adjacency, symmetry, no loops/duplicates.
+/// Returns true when all hold (tests assert on this).
+[[nodiscard]] bool validate_structure(const Graph& g);
+
+/// Checks Definition 3: `t_set` is (z, alpha, beta)-dense for the agent
+/// start `z_start` — i.e. z_start ∈ T, every w ∈ T is within distance beta
+/// of z_start, and every u ∈ N+(z_start) is alpha-heavy for T.
+[[nodiscard]] bool is_dense_set(const Graph& g, VertexIndex z_start,
+                                const std::vector<VertexIndex>& t_set,
+                                double alpha, std::uint32_t beta);
+
+}  // namespace fnr::graph

@@ -1,0 +1,79 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace fnr::graph {
+
+GraphBuilder::GraphBuilder(std::size_t num_vertices) : n_(num_vertices) {
+  FNR_CHECK_MSG(num_vertices >= 1, "graph needs at least one vertex");
+  FNR_CHECK_MSG(num_vertices <= static_cast<std::size_t>(kNoVertex),
+                "too many vertices for 32-bit indices");
+}
+
+void GraphBuilder::add_edge(VertexIndex u, VertexIndex v) {
+  FNR_CHECK_MSG(u != v, "self-loop at vertex " << u);
+  FNR_CHECK_MSG(u < n_ && v < n_,
+                "edge (" << u << ", " << v << ") out of range n=" << n_);
+  if (u > v) std::swap(u, v);
+  edges_.emplace_back(u, v);
+}
+
+Graph GraphBuilder::build(IdSpace ids) && {
+  FNR_CHECK_MSG(ids.ids.size() == n_,
+                "ID space size " << ids.ids.size() << " != n=" << n_);
+
+  // Deduplicate parallel edges.
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  Graph g;
+  g.offsets_.assign(n_ + 1, 0);
+  for (const auto& [u, v] : edges_) {
+    ++g.offsets_[u + 1];
+    ++g.offsets_[v + 1];
+  }
+  std::partial_sum(g.offsets_.begin(), g.offsets_.end(), g.offsets_.begin());
+  g.adjacency_.resize(edges_.size() * 2);
+  std::vector<std::uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [u, v] : edges_) {
+    g.adjacency_[cursor[u]++] = v;
+    g.adjacency_[cursor[v]++] = u;
+  }
+  for (std::size_t v = 0; v < n_; ++v) {
+    std::sort(g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]),
+              g.adjacency_.begin() +
+                  static_cast<std::ptrdiff_t>(g.offsets_[v + 1]));
+  }
+
+  g.min_degree_ = n_ > 0 ? g.degree(0) : 0;
+  g.max_degree_ = 0;
+  for (VertexIndex v = 0; v < n_; ++v) {
+    const std::size_t d = g.degree(v);
+    g.min_degree_ = std::min(g.min_degree_, d);
+    g.max_degree_ = std::max(g.max_degree_, d);
+  }
+
+  g.id_to_index_.reserve(n_ * 2);
+  for (VertexIndex v = 0; v < n_; ++v) {
+    const VertexId id = ids.ids[v];
+    FNR_CHECK_MSG(id < ids.bound,
+                  "ID " << id << " >= bound n'=" << ids.bound);
+    const auto [it, inserted] = g.id_to_index_.emplace(id, v);
+    (void)it;
+    FNR_CHECK_MSG(inserted, "duplicate vertex ID " << id);
+  }
+  g.id_space_ = std::move(ids);
+  return g;
+}
+
+Graph GraphBuilder::build_identity_ids() && {
+  IdSpace ids;
+  ids.ids.resize(n_);
+  std::iota(ids.ids.begin(), ids.ids.end(), VertexId{0});
+  ids.bound = n_;
+  ids.tight = true;
+  return std::move(*this).build(std::move(ids));
+}
+
+}  // namespace fnr::graph

@@ -1,0 +1,240 @@
+#include "graph/generators.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+namespace fnr::graph {
+
+Graph make_complete(std::size_t n) {
+  FNR_CHECK(n >= 2);
+  GraphBuilder b(n);
+  for (VertexIndex u = 0; u < n; ++u)
+    for (VertexIndex v = u + 1; v < n; ++v) b.add_edge(u, v);
+  return std::move(b).build_identity_ids();
+}
+
+Graph make_ring(std::size_t n) {
+  FNR_CHECK(n >= 3);
+  GraphBuilder b(n);
+  for (VertexIndex v = 0; v < n; ++v)
+    b.add_edge(v, static_cast<VertexIndex>((v + 1) % n));
+  return std::move(b).build_identity_ids();
+}
+
+Graph make_path(std::size_t n) {
+  FNR_CHECK(n >= 2);
+  GraphBuilder b(n);
+  for (VertexIndex v = 0; v + 1 < n; ++v)
+    b.add_edge(v, static_cast<VertexIndex>(v + 1));
+  return std::move(b).build_identity_ids();
+}
+
+Graph make_star(std::size_t leaves) {
+  FNR_CHECK(leaves >= 1);
+  GraphBuilder b(leaves + 1);
+  for (VertexIndex v = 1; v <= leaves; ++v) b.add_edge(0, v);
+  return std::move(b).build_identity_ids();
+}
+
+Graph make_grid(std::size_t rows, std::size_t cols) {
+  FNR_CHECK(rows >= 1 && cols >= 1 && rows * cols >= 2);
+  GraphBuilder b(rows * cols);
+  auto at = [cols](std::size_t r, std::size_t c) {
+    return static_cast<VertexIndex>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(at(r, c), at(r, c + 1));
+      if (r + 1 < rows) b.add_edge(at(r, c), at(r + 1, c));
+    }
+  }
+  return std::move(b).build_identity_ids();
+}
+
+Graph make_erdos_renyi(std::size_t n, double p, Rng& rng) {
+  FNR_CHECK(n >= 2);
+  FNR_CHECK_MSG(p > 0.0 && p <= 1.0, "G(n,p) needs p in (0, 1]");
+  GraphBuilder b(n);
+  if (p >= 1.0) return make_complete(n);
+  // Geometric skipping over the linearized upper triangle. Skips are
+  // monotone, so the (row, col) decoding advances a cursor instead of
+  // inverting the quadratic index formula.
+  const double log1mp = std::log1p(-p);
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(n) * (n - 1) / 2;  // number of vertex pairs
+  auto row_start = [n](std::uint64_t r) {
+    return r * (n - 1) - r * (r - 1) / 2;
+  };
+  std::uint64_t pos = 0;
+  std::uint64_t row = 0;
+  while (true) {
+    const double u = std::max(rng.uniform01(), 1e-300);
+    pos += 1 + static_cast<std::uint64_t>(std::floor(std::log(u) / log1mp));
+    if (pos > total) break;
+    const std::uint64_t k = pos - 1;
+    while (row + 1 < n && row_start(row + 1) <= k) ++row;
+    const std::uint64_t col = k - row_start(row) + row + 1;
+    b.add_edge(static_cast<VertexIndex>(row), static_cast<VertexIndex>(col));
+  }
+  return std::move(b).build_identity_ids();
+}
+
+Graph make_near_regular(std::size_t n, std::size_t out_degree, Rng& rng) {
+  FNR_CHECK(n >= 2);
+  FNR_CHECK_MSG(out_degree >= 1 && out_degree < n,
+                "out_degree must be in [1, n)");
+  GraphBuilder b(n);
+  std::unordered_set<VertexIndex> picked;
+  for (VertexIndex u = 0; u < n; ++u) {
+    picked.clear();
+    while (picked.size() < out_degree) {
+      const auto v = static_cast<VertexIndex>(rng.below(n));
+      if (v == u || picked.contains(v)) continue;
+      picked.insert(v);
+      b.add_edge(u, v);
+    }
+  }
+  return std::move(b).build_identity_ids();
+}
+
+Graph make_hub_augmented(std::size_t n, std::size_t base_out_degree,
+                         std::size_t num_hubs, Rng& rng) {
+  FNR_CHECK(n >= 4);
+  FNR_CHECK_MSG(num_hubs < n, "need fewer hubs than vertices");
+  FNR_CHECK_MSG(base_out_degree >= 1 && base_out_degree < n - num_hubs,
+                "base_out_degree out of range");
+  GraphBuilder b(n);
+  // Hubs are the last `num_hubs` indices; adjacent to everything.
+  const auto hub_start = static_cast<VertexIndex>(n - num_hubs);
+  for (VertexIndex h = hub_start; h < n; ++h)
+    for (VertexIndex v = 0; v < n; ++v)
+      if (v != h && (v < hub_start || v > h)) b.add_edge(h, v);
+  // Near-regular base among non-hub vertices.
+  std::unordered_set<VertexIndex> picked;
+  for (VertexIndex u = 0; u < hub_start; ++u) {
+    picked.clear();
+    while (picked.size() < base_out_degree) {
+      const auto v = static_cast<VertexIndex>(rng.below(hub_start));
+      if (v == u || picked.contains(v)) continue;
+      picked.insert(v);
+      b.add_edge(u, v);
+    }
+  }
+  return std::move(b).build_identity_ids();
+}
+
+DoubleStar make_double_star(std::size_t leaves_per_center) {
+  FNR_CHECK(leaves_per_center >= 1);
+  const std::size_t n = 2 * leaves_per_center + 2;
+  GraphBuilder b(n);
+  const VertexIndex center_a = 0;
+  const auto center_b = static_cast<VertexIndex>(1);
+  b.add_edge(center_a, center_b);
+  // a's leaves: [2, 2+leaves); b's leaves: [2+leaves, n).
+  for (std::size_t i = 0; i < leaves_per_center; ++i) {
+    b.add_edge(center_a, static_cast<VertexIndex>(2 + i));
+    b.add_edge(center_b, static_cast<VertexIndex>(2 + leaves_per_center + i));
+  }
+  return DoubleStar{std::move(b).build_identity_ids(), center_a, center_b};
+}
+
+DoubleStar make_double_star_cliques(std::size_t branches,
+                                    std::size_t clique_size) {
+  FNR_CHECK(branches >= 1);
+  FNR_CHECK(clique_size >= 2);
+  const std::size_t n = 2 + 2 * branches * clique_size;
+  GraphBuilder b(n);
+  const VertexIndex center_a = 0;
+  const VertexIndex center_b = 1;
+  b.add_edge(center_a, center_b);
+  // Cliques are laid out consecutively after the two centers; the first
+  // vertex of each clique is its gateway.
+  VertexIndex next = 2;
+  for (int side = 0; side < 2; ++side) {
+    const VertexIndex center = side == 0 ? center_a : center_b;
+    for (std::size_t br = 0; br < branches; ++br) {
+      const VertexIndex gateway = next;
+      for (std::size_t i = 0; i < clique_size; ++i)
+        for (std::size_t j = i + 1; j < clique_size; ++j)
+          b.add_edge(static_cast<VertexIndex>(next + i),
+                     static_cast<VertexIndex>(next + j));
+      b.add_edge(center, gateway);
+      next = static_cast<VertexIndex>(next + clique_size);
+    }
+  }
+  return DoubleStar{std::move(b).build_identity_ids(), center_a, center_b};
+}
+
+BridgedCliques make_bridged_cliques(std::size_t half) {
+  FNR_CHECK_MSG(half >= 3, "bridged cliques need half >= 3");
+  const std::size_t n = 2 * half;
+  GraphBuilder b(n);
+  // C1 = [0, half), C2 = [half, n).
+  const VertexIndex a_start = 0;
+  const VertexIndex x1 = 1;
+  const auto b_start = static_cast<VertexIndex>(half);
+  const auto x2 = static_cast<VertexIndex>(half + 1);
+  for (int side = 0; side < 2; ++side) {
+    const auto base = static_cast<VertexIndex>(side * half);
+    for (std::size_t i = 0; i < half; ++i)
+      for (std::size_t j = i + 1; j < half; ++j) {
+        const auto u = static_cast<VertexIndex>(base + i);
+        const auto v = static_cast<VertexIndex>(base + j);
+        // Drop the (start, x) edge inside each clique.
+        if (side == 0 && u == a_start && v == x1) continue;
+        if (side == 1 && u == b_start && v == x2) continue;
+        b.add_edge(u, v);
+      }
+  }
+  b.add_edge(a_start, b_start);
+  b.add_edge(x1, x2);
+  return BridgedCliques{std::move(b).build_identity_ids(), a_start, b_start,
+                        x1, x2};
+}
+
+SharedVertexCliques make_shared_vertex_cliques(std::size_t half) {
+  FNR_CHECK_MSG(half >= 3, "shared-vertex cliques need half >= 3");
+  const std::size_t n = 2 * half - 1;
+  GraphBuilder b(n);
+  // Shared vertex is index 0; clique A = {0} ∪ [1, half); clique B = {0} ∪
+  // [half, n).
+  const VertexIndex shared = 0;
+  for (std::size_t i = 0; i < half; ++i)
+    for (std::size_t j = i + 1; j < half; ++j)
+      b.add_edge(static_cast<VertexIndex>(i), static_cast<VertexIndex>(j));
+  for (std::size_t i = 0; i < half; ++i)
+    for (std::size_t j = i + 1; j < half; ++j) {
+      const auto u =
+          i == 0 ? shared : static_cast<VertexIndex>(half - 1 + i);
+      const auto v = static_cast<VertexIndex>(half - 1 + j);
+      b.add_edge(u, v);
+    }
+  return SharedVertexCliques{std::move(b).build_identity_ids(),
+                             /*a_start=*/1,
+                             /*b_start=*/static_cast<VertexIndex>(half),
+                             shared};
+}
+
+PermutedGraph permute_indices(const Graph& g, Rng& rng) {
+  PermutedGraph out;
+  out.mapping.resize(g.num_vertices());
+  std::iota(out.mapping.begin(), out.mapping.end(), VertexIndex{0});
+  shuffle(out.mapping, rng);
+  GraphBuilder b(g.num_vertices());
+  for (VertexIndex u = 0; u < g.num_vertices(); ++u)
+    for (const VertexIndex v : g.neighbors(u))
+      if (u < v) b.add_edge(out.mapping[u], out.mapping[v]);
+  out.graph = std::move(b).build_identity_ids();
+  return out;
+}
+
+Graph with_ids(const Graph& g, IdSpace ids) {
+  GraphBuilder b(g.num_vertices());
+  for (VertexIndex u = 0; u < g.num_vertices(); ++u)
+    for (const VertexIndex v : g.neighbors(u))
+      if (u < v) b.add_edge(u, v);
+  return std::move(b).build(std::move(ids));
+}
+
+}  // namespace fnr::graph

@@ -1,0 +1,113 @@
+// Graph families used by the experiments.
+//
+// Generators work in index space and return plain Graphs with identity
+// naming by default; callers that need a specific naming regime rebuild via
+// GraphBuilder + id_space helpers (see make_* overloads taking IdSpace).
+// The three lower-bound families return the special vertices of the
+// construction (Figures 1–3 of the paper) alongside the graph.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/builder.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace fnr::graph {
+
+// --- elementary families ---------------------------------------------------
+
+/// K_n.
+[[nodiscard]] Graph make_complete(std::size_t n);
+
+/// Cycle C_n (n >= 3).
+[[nodiscard]] Graph make_ring(std::size_t n);
+
+/// Path P_n (n >= 2).
+[[nodiscard]] Graph make_path(std::size_t n);
+
+/// Star with `leaves` leaves; vertex 0 is the center.
+[[nodiscard]] Graph make_star(std::size_t leaves);
+
+/// rows x cols grid (4-neighborhood).
+[[nodiscard]] Graph make_grid(std::size_t rows, std::size_t cols);
+
+// --- random families --------------------------------------------------------
+
+/// Erdős–Rényi G(n, p) via geometric edge skipping. Expected degree p(n-1).
+[[nodiscard]] Graph make_erdos_renyi(std::size_t n, double p, Rng& rng);
+
+/// Near-regular random graph: every vertex draws `out_degree` distinct
+/// random partners; the union of those pairs is the edge set. Guarantees
+/// min degree >= out_degree and concentrates all degrees near 2*out_degree,
+/// so δ = Θ(Δ). This is the workhorse family for Theorem 1/2 sweeps where
+/// the bound is governed by δ.
+[[nodiscard]] Graph make_near_regular(std::size_t n, std::size_t out_degree,
+                                      Rng& rng);
+
+/// Near-regular base of parameter `base_out_degree` plus `num_hubs` vertices
+/// adjacent to every other vertex. Yields δ ≈ base_out_degree + num_hubs and
+/// Δ = n - 1: the family where δ and Δ are controlled independently
+/// (used for the δ-sweep / crossover experiment E2).
+[[nodiscard]] Graph make_hub_augmented(std::size_t n,
+                                       std::size_t base_out_degree,
+                                       std::size_t num_hubs, Rng& rng);
+
+// --- lower-bound families (paper Figures 1-3) -------------------------------
+
+/// Figure 1(a): two stars glued by a center-center edge. Agents start at the
+/// two centers (adjacent). δ = 1, Δ = leaves_per_center + 1, n =
+/// 2*leaves_per_center + 2. Hard instance of Theorem 3.
+struct DoubleStar {
+  Graph graph;
+  VertexIndex center_a = 0;
+  VertexIndex center_b = 0;
+};
+[[nodiscard]] DoubleStar make_double_star(std::size_t leaves_per_center);
+
+/// Figure 1(b): the general-degree variant — each center is adjacent to the
+/// other center and to one gateway vertex of each of `branches` cliques of
+/// size `clique_size`. δ = clique_size - 1, Δ = branches + 1.
+[[nodiscard]] DoubleStar make_double_star_cliques(std::size_t branches,
+                                                  std::size_t clique_size);
+
+/// Figure 2: two (n/2)-cliques; one edge removed inside each; the freed
+/// endpoints joined across: (a_start, b_start) and (x1, x2) become the only
+/// inter-clique edges. δ = Δ = n/2 - 1. Hard instance of Theorem 4 when
+/// neighborhood IDs are hidden.
+struct BridgedCliques {
+  Graph graph;
+  VertexIndex a_start = 0;
+  VertexIndex b_start = 0;
+  VertexIndex x1 = 0;
+  VertexIndex x2 = 0;
+};
+[[nodiscard]] BridgedCliques make_bridged_cliques(std::size_t half);
+
+/// Figure 3: two cliques of (n+1)/2 vertices sharing exactly one vertex.
+/// Agents start at non-shared vertices, initial distance 2. Hard instance of
+/// Theorem 5.
+struct SharedVertexCliques {
+  Graph graph;
+  VertexIndex a_start = 0;
+  VertexIndex b_start = 0;
+  VertexIndex shared = 0;
+};
+[[nodiscard]] SharedVertexCliques make_shared_vertex_cliques(std::size_t half);
+
+// --- renaming ---------------------------------------------------------------
+
+/// Rebuilds `g` with a different ID space (same topology).
+[[nodiscard]] Graph with_ids(const Graph& g, IdSpace ids);
+
+/// Rebuilds `g` with uniformly permuted vertex *indices* (identity IDs on
+/// the new indices). Port numbering follows indices, so this also
+/// randomizes port order — use it to stop port-ordered strategies from
+/// riding a construction's layout. `mapping[old_index]` gives the new index.
+struct PermutedGraph {
+  Graph graph;
+  std::vector<VertexIndex> mapping;
+};
+[[nodiscard]] PermutedGraph permute_indices(const Graph& g, Rng& rng);
+
+}  // namespace fnr::graph

@@ -1,0 +1,54 @@
+#include "graph/id_space.hpp"
+
+#include <cmath>
+#include <numeric>
+
+namespace fnr::graph {
+
+IdSpace identity_ids(std::size_t n) {
+  IdSpace ids;
+  ids.ids.resize(n);
+  std::iota(ids.ids.begin(), ids.ids.end(), VertexId{0});
+  ids.bound = n;
+  ids.tight = true;
+  return ids;
+}
+
+IdSpace shuffled_ids(std::size_t n, Rng& rng) {
+  IdSpace ids = identity_ids(n);
+  shuffle(ids.ids, rng);
+  return ids;
+}
+
+namespace {
+
+IdSpace distinct_ids_below(std::size_t n, VertexId bound, bool tight,
+                           Rng& rng) {
+  FNR_CHECK(bound >= n);
+  IdSpace ids;
+  ids.ids = sample_without_replacement(bound, n, rng);
+  shuffle(ids.ids, rng);  // decorrelate ID magnitude from vertex index
+  ids.bound = bound;
+  ids.tight = tight;
+  return ids;
+}
+
+}  // namespace
+
+IdSpace tight_ids(std::size_t n, double slack, Rng& rng) {
+  FNR_CHECK_MSG(slack >= 1.0, "tight naming needs slack >= 1");
+  const auto bound =
+      static_cast<VertexId>(std::ceil(slack * static_cast<double>(n)));
+  return distinct_ids_below(n, std::max<VertexId>(bound, n), true, rng);
+}
+
+IdSpace sparse_ids(std::size_t n, double exponent, Rng& rng) {
+  FNR_CHECK_MSG(exponent > 1.0, "sparse naming needs exponent > 1");
+  const double raw = std::pow(static_cast<double>(n), exponent);
+  // Cap to keep arithmetic in uint64 range even for adversarial exponents.
+  const double capped = std::min(raw, 0x1.0p62);
+  const auto bound = std::max<VertexId>(static_cast<VertexId>(capped), n);
+  return distinct_ids_below(n, bound, false, rng);
+}
+
+}  // namespace fnr::graph

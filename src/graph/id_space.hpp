@@ -1,0 +1,29 @@
+// Naming regimes for vertex identifiers (paper §2.1, §4.2).
+//
+// The main algorithm only needs distinct IDs bounded by a polynomial n';
+// the whiteboard-free algorithm (Theorem 2) additionally needs tight naming
+// n' = O(n). Both regimes are generated here so experiments can show which
+// guarantees each algorithm actually uses.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace fnr::graph {
+
+/// ID = index; n' = n. Tight.
+[[nodiscard]] IdSpace identity_ids(std::size_t n);
+
+/// A uniformly random permutation of [0, n); n' = n. Tight, but the mapping
+/// between IDs and graph structure is random.
+[[nodiscard]] IdSpace shuffled_ids(std::size_t n, Rng& rng);
+
+/// Tight naming with slack: distinct IDs drawn from [0, ceil(slack*n)).
+/// slack must be >= 1. Models n' = O(n) without ID = index coincidences.
+[[nodiscard]] IdSpace tight_ids(std::size_t n, double slack, Rng& rng);
+
+/// Sparse polynomial naming: distinct IDs drawn from [0, n^exponent),
+/// exponent > 1. Not tight — Theorem 2 must not be run under this regime.
+[[nodiscard]] IdSpace sparse_ids(std::size_t n, double exponent, Rng& rng);
+
+}  // namespace fnr::graph

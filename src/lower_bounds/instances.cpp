@@ -1,0 +1,40 @@
+#include "lower_bounds/instances.hpp"
+
+namespace fnr::lower_bounds {
+
+HardInstance theorem3_instance(std::size_t leaves_per_center) {
+  auto built = graph::make_double_star(leaves_per_center);
+  return HardInstance{std::move(built.graph),
+                      sim::Placement{built.center_a, built.center_b},
+                      sim::Model::full(),
+                      "thm3-double-star"};
+}
+
+HardInstance theorem3_general_instance(std::size_t branches,
+                                       std::size_t clique_size) {
+  auto built = graph::make_double_star_cliques(branches, clique_size);
+  return HardInstance{std::move(built.graph),
+                      sim::Placement{built.center_a, built.center_b},
+                      sim::Model::full(),
+                      "thm3-clique-star"};
+}
+
+HardInstance theorem4_instance(std::size_t half) {
+  auto built = graph::make_bridged_cliques(half);
+  return HardInstance{std::move(built.graph),
+                      sim::Placement{built.a_start, built.b_start},
+                      sim::Model::port_only(),
+                      "thm4-bridged-cliques",
+                      built.x1};
+}
+
+HardInstance theorem5_instance(std::size_t half) {
+  auto built = graph::make_shared_vertex_cliques(half);
+  return HardInstance{std::move(built.graph),
+                      sim::Placement{built.a_start, built.b_start},
+                      sim::Model::full(),
+                      "thm5-shared-vertex",
+                      built.shared};
+}
+
+}  // namespace fnr::lower_bounds

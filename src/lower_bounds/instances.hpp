@@ -1,0 +1,43 @@
+// Executable hard instances for Theorems 3, 4, and 5 (Figures 1-3).
+//
+// Each maker returns the graph, the agents' mandated starting placement, and
+// the model under which the theorem's impossibility applies. The benches run
+// representative algorithm families on these instances and measure the
+// Ω(Δ) / Ω(n) behaviour the theorems predict.
+#pragma once
+
+#include <string>
+
+#include "graph/generators.hpp"
+#include "sim/model.hpp"
+#include "sim/scheduler.hpp"
+
+namespace fnr::lower_bounds {
+
+struct HardInstance {
+  graph::Graph graph;
+  sim::Placement placement;
+  sim::Model model;
+  std::string name;
+  /// Construction-specific landmark (the shared vertex of Figure 3, the
+  /// bridge endpoint x1 of Figure 2); kNoVertex when not applicable.
+  graph::VertexIndex aux = graph::kNoVertex;
+};
+
+/// Theorem 3 / Figure 1(a): glued stars; δ = 1, Δ = leaves+1, distance 1.
+/// Any algorithm needs Ω(Δ) rounds with constant probability.
+[[nodiscard]] HardInstance theorem3_instance(std::size_t leaves_per_center);
+
+/// Theorem 3 / Figure 1(b): glued clique-stars with δ = clique_size - 1.
+[[nodiscard]] HardInstance theorem3_general_instance(std::size_t branches,
+                                                     std::size_t clique_size);
+
+/// Theorem 4 / Figure 2: bridged cliques; distance 1, δ = Δ = n/2 - 1, but
+/// the model hides neighborhood IDs (port-only).
+[[nodiscard]] HardInstance theorem4_instance(std::size_t half);
+
+/// Theorem 5 / Figure 3: two cliques sharing one vertex; the agents start at
+/// distance TWO — outside the neighborhood-rendezvous promise.
+[[nodiscard]] HardInstance theorem5_instance(std::size_t half);
+
+}  // namespace fnr::lower_bounds

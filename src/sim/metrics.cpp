@@ -1,0 +1,19 @@
+#include "sim/metrics.hpp"
+
+#include <sstream>
+
+namespace fnr::sim {
+
+std::string RunResult::describe() const {
+  std::ostringstream os;
+  if (met) {
+    os << "met at round " << meeting_round << " on vertex " << meeting_vertex;
+  } else {
+    os << "did not meet within " << metrics.rounds << " rounds";
+  }
+  os << " (moves a=" << metrics.moves[0] << ", b=" << metrics.moves[1]
+     << ", wb writes=" << metrics.whiteboard_writes << ")";
+  return os.str();
+}
+
+}  // namespace fnr::sim

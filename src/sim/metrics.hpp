@@ -1,0 +1,38 @@
+// Run-level measurements reported by the Scheduler.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "sim/model.hpp"
+
+namespace fnr::sim {
+
+struct Metrics {
+  std::uint64_t rounds = 0;                ///< rounds executed before meeting
+  std::array<std::uint64_t, 2> moves{};    ///< edge traversals per agent
+  std::uint64_t whiteboard_reads = 0;
+  std::uint64_t whiteboard_writes = 0;
+  std::size_t whiteboards_used = 0;        ///< boards that ever held a value
+  std::array<std::size_t, 2> peak_memory_words{};  ///< max Agent::memory_words
+
+  [[nodiscard]] std::uint64_t moves_of(AgentName name) const noexcept {
+    return moves[static_cast<std::size_t>(name)];
+  }
+};
+
+/// Outcome of one simulated run.
+struct RunResult {
+  bool met = false;
+  /// Round at which rendezvous completed (both agents at one vertex at the
+  /// beginning of that round); only meaningful when met.
+  std::uint64_t meeting_round = 0;
+  graph::VertexIndex meeting_vertex = graph::kNoVertex;
+  Metrics metrics;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace fnr::sim

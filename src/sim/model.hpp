@@ -1,0 +1,44 @@
+// Computational model flags (paper §2.1).
+//
+// The paper's upper bounds assume: unique vertex IDs, access to neighborhood
+// IDs (KT1-style: the accessible port map P_v equals the hidden ˆP_v), and
+// whiteboards at vertices. The lower bounds each remove one assumption; the
+// Model struct makes every combination runnable so those experiments are
+// executable rather than hypothetical.
+#pragma once
+
+namespace fnr::sim {
+
+struct Model {
+  /// KT1: agents at v can read the IDs of all neighbors of v. When false,
+  /// ports are opaque indices [0, deg(v)) (Theorem 4's setting).
+  bool neighborhood_ids = true;
+
+  /// Whiteboards at vertices (read/write at the current location). Theorem 2
+  /// removes this.
+  bool whiteboards = true;
+
+  /// The full model used by Theorem 1.
+  [[nodiscard]] static constexpr Model full() noexcept { return {true, true}; }
+  /// Theorem 2's model: KT1 but no whiteboards (requires tight naming, which
+  /// is a property of the Graph's IdSpace, not of the Model).
+  [[nodiscard]] static constexpr Model no_whiteboards() noexcept {
+    return {true, false};
+  }
+  /// Theorem 4's model: whiteboards but no neighborhood IDs.
+  [[nodiscard]] static constexpr Model port_only() noexcept {
+    return {false, true};
+  }
+
+  friend constexpr bool operator==(const Model&, const Model&) = default;
+};
+
+/// The two agents; the paper names them a and b and allows them to run
+/// different programs (asymmetric algorithms).
+enum class AgentName { A, B };
+
+[[nodiscard]] constexpr const char* to_string(AgentName name) noexcept {
+  return name == AgentName::A ? "a" : "b";
+}
+
+}  // namespace fnr::sim

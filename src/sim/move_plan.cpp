@@ -1,0 +1,3 @@
+// MovePlan is header-only; this translation unit exists so the target has a
+// stable archive member for the module (and a place for future growth).
+#include "sim/move_plan.hpp"

@@ -1,0 +1,51 @@
+// Multi-round movement plans.
+//
+// The paper charges "visit v and return" at its real round cost; agents
+// therefore execute explicit hop sequences. A MovePlan is a FIFO of vertex
+// IDs, each of which must be a neighbor of the agent's location when its
+// turn comes (plans are built from known adjacency: shortest paths of
+// length <= 2 inside N+(N+(v0))). Requires the KT1 model (moves are
+// addressed by neighbor ID).
+#pragma once
+
+#include <deque>
+
+#include "graph/graph.hpp"
+#include "sim/view.hpp"
+
+namespace fnr::sim {
+
+class MovePlan {
+ public:
+  [[nodiscard]] bool empty() const noexcept { return hops_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return hops_.size(); }
+
+  /// Appends one hop to a vertex that will be adjacent when reached.
+  void push_hop(graph::VertexId next) { hops_.push_back(next); }
+
+  /// Appends hops `via` then `target` when via != target, else just target.
+  /// Encodes the length-<=2 paths used throughout Construct/Main-Rendezvous.
+  void push_via(graph::VertexId via, graph::VertexId target) {
+    if (via != target) hops_.push_back(via);
+    hops_.push_back(target);
+  }
+
+  void clear() noexcept { hops_.clear(); }
+
+  /// Emits the move action for the next hop; call only when !empty().
+  [[nodiscard]] Action pop_move(const View& view) {
+    FNR_CHECK_MSG(!hops_.empty(), "pop_move on an empty plan");
+    const graph::VertexId next = hops_.front();
+    hops_.pop_front();
+    return Action::move(view.port_of(next));
+  }
+
+  [[nodiscard]] std::size_t memory_words() const noexcept {
+    return hops_.size();
+  }
+
+ private:
+  std::deque<graph::VertexId> hops_;
+};
+
+}  // namespace fnr::sim

@@ -1,0 +1,146 @@
+#include "sim/scheduler.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace fnr::sim {
+
+Placement random_adjacent_placement(const graph::Graph& g, Rng& rng) {
+  FNR_CHECK_MSG(g.num_edges() > 0, "graph has no edges to place agents on");
+  // A uniform adjacency slot is a uniform directed edge, i.e. a uniform
+  // undirected edge with a uniform orientation.
+  const auto [u, v] = g.edge_at_slot(rng.below(2 * g.num_edges()));
+  return Placement{u, v};
+}
+
+Scheduler::Scheduler(const graph::Graph& g, Model model)
+    : graph_(g), model_(model), boards_(g.num_vertices()) {}
+
+RunResult Scheduler::run(Agent& agent_a, Agent& agent_b, Placement placement,
+                         std::uint64_t max_rounds) {
+  FNR_CHECK(placement.a_start < graph_.num_vertices());
+  FNR_CHECK(placement.b_start < graph_.num_vertices());
+  FNR_CHECK_MSG(placement.a_start != placement.b_start,
+                "agents must start at distinct vertices");
+  boards_.clear_all();
+
+  RunResult result;
+  graph::VertexIndex pos[2] = {placement.a_start, placement.b_start};
+  std::optional<std::size_t> arrival_port[2];
+  Agent* agents[2] = {&agent_a, &agent_b};
+
+  const std::uint64_t wb_reads0 = boards_.reads();
+  const std::uint64_t wb_writes0 = boards_.writes();
+
+  for (std::uint64_t round = 0; round <= max_rounds; ++round) {
+    if (pos[0] == pos[1]) {
+      result.met = true;
+      result.meeting_round = round;
+      result.meeting_vertex = pos[0];
+      break;
+    }
+    if (round == max_rounds) break;  // budget exhausted without meeting
+    result.metrics.rounds = round + 1;
+
+    Action actions[2];
+    for (int i = 0; i < 2; ++i) {
+      View view;
+      view.agent_ = i == 0 ? AgentName::A : AgentName::B;
+      view.round_ = round;
+      view.here_index_ = pos[i];
+      view.here_id_ = graph_.id_of(pos[i]);
+      view.degree_ = graph_.degree(pos[i]);
+      view.id_bound_ = graph_.id_bound();
+      view.n_ = graph_.num_vertices();
+      view.model_ = model_;
+      view.graph_ = &graph_;
+      view.boards_ = model_.whiteboards ? &boards_ : nullptr;
+      view.arrival_port_ = arrival_port[i];
+      actions[i] = agents[i]->step(view);
+      result.metrics.peak_memory_words[i] = std::max(
+          result.metrics.peak_memory_words[i], agents[i]->memory_words());
+    }
+
+    // Whiteboard writes happen at the agents' current vertices before the
+    // simultaneous movement. (Both agents writing the same board would mean
+    // they are co-located, which ends the run above, so order is moot.)
+    for (int i = 0; i < 2; ++i) {
+      if (actions[i].whiteboard_write.has_value()) {
+        FNR_CHECK_MSG(model_.whiteboards,
+                      "agent wrote a whiteboard in a whiteboard-free model");
+        boards_.write(pos[i], *actions[i].whiteboard_write);
+      }
+    }
+
+    for (int i = 0; i < 2; ++i) {
+      const std::size_t port = actions[i].move_port;
+      if (port == Action::kStay) {
+        arrival_port[i].reset();
+        continue;
+      }
+      const graph::VertexIndex from = pos[i];
+      pos[i] = graph_.neighbor_at_port(from, port);
+      arrival_port[i] = graph_.port_to(pos[i], from);
+      ++result.metrics.moves[i];
+    }
+  }
+
+  result.metrics.whiteboard_reads = boards_.reads() - wb_reads0;
+  result.metrics.whiteboard_writes = boards_.writes() - wb_writes0;
+  result.metrics.whiteboards_used = boards_.used_boards();
+  FNR_TRACE("run finished: " << result.describe());
+  return result;
+}
+
+RunResult Scheduler::run_single(Agent& agent, graph::VertexIndex start,
+                                std::uint64_t max_rounds) {
+  FNR_CHECK(start < graph_.num_vertices());
+  boards_.clear_all();
+
+  RunResult result;
+  graph::VertexIndex pos = start;
+  std::optional<std::size_t> arrival_port;
+
+  for (std::uint64_t round = 0; round < max_rounds; ++round) {
+    if (agent.halted()) break;
+    result.metrics.rounds = round + 1;
+
+    View view;
+    view.agent_ = AgentName::A;
+    view.round_ = round;
+    view.here_index_ = pos;
+    view.here_id_ = graph_.id_of(pos);
+    view.degree_ = graph_.degree(pos);
+    view.id_bound_ = graph_.id_bound();
+    view.n_ = graph_.num_vertices();
+    view.model_ = model_;
+    view.graph_ = &graph_;
+    view.boards_ = model_.whiteboards ? &boards_ : nullptr;
+    view.arrival_port_ = arrival_port;
+    const Action action = agent.step(view);
+    result.metrics.peak_memory_words[0] =
+        std::max(result.metrics.peak_memory_words[0], agent.memory_words());
+
+    if (action.whiteboard_write.has_value()) {
+      FNR_CHECK_MSG(model_.whiteboards,
+                    "agent wrote a whiteboard in a whiteboard-free model");
+      boards_.write(pos, *action.whiteboard_write);
+    }
+    if (action.move_port == Action::kStay) {
+      arrival_port.reset();
+    } else {
+      const graph::VertexIndex from = pos;
+      pos = graph_.neighbor_at_port(from, action.move_port);
+      arrival_port = graph_.port_to(pos, from);
+      ++result.metrics.moves[0];
+    }
+  }
+  result.meeting_vertex = pos;  // final position (no partner to meet)
+  result.metrics.whiteboard_reads = boards_.reads();
+  result.metrics.whiteboard_writes = boards_.writes();
+  result.metrics.whiteboards_used = boards_.used_boards();
+  return result;
+}
+
+}  // namespace fnr::sim

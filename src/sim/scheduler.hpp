@@ -1,0 +1,57 @@
+// Synchronous execution of two agents on a graph (paper §2.1-2.2).
+//
+// Round structure: at the beginning of each round, if both agents occupy the
+// same vertex, rendezvous is complete (they detect each other and halt).
+// Otherwise each agent observes its View, returns an Action (optional
+// whiteboard write at its current vertex, then stay/move), and both actions
+// are applied simultaneously. Note the paper's convention means agents that
+// *cross* on an edge do not meet — only co-location at a round boundary
+// counts.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "sim/metrics.hpp"
+#include "sim/model.hpp"
+#include "sim/view.hpp"
+#include "sim/whiteboard.hpp"
+#include "util/rng.hpp"
+
+namespace fnr::sim {
+
+/// Initial placement of the two agents.
+struct Placement {
+  graph::VertexIndex a_start = graph::kNoVertex;
+  graph::VertexIndex b_start = graph::kNoVertex;
+};
+
+/// Uniformly random adjacent pair (the neighborhood-rendezvous instance
+/// class I_1): picks a uniform edge, then orients it uniformly.
+[[nodiscard]] Placement random_adjacent_placement(const graph::Graph& g,
+                                                  Rng& rng);
+
+class Scheduler {
+ public:
+  Scheduler(const graph::Graph& g, Model model);
+
+  /// Runs agents from `placement` for at most `max_rounds` rounds.
+  /// Agents must be freshly constructed (they carry run state).
+  [[nodiscard]] RunResult run(Agent& agent_a, Agent& agent_b,
+                              Placement placement, std::uint64_t max_rounds);
+
+  /// Runs a single agent (as agent a) until it reports halted() or the cap.
+  /// Used for exploration measurements and for exercising sub-protocols
+  /// (e.g. Construct) without a partner ending the run early.
+  [[nodiscard]] RunResult run_single(Agent& agent, graph::VertexIndex start,
+                                     std::uint64_t max_rounds);
+
+  [[nodiscard]] const Model& model() const noexcept { return model_; }
+
+ private:
+  const graph::Graph& graph_;
+  Model model_;
+  Whiteboards boards_;
+};
+
+}  // namespace fnr::sim

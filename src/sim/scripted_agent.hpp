@@ -1,0 +1,89 @@
+// Plan-driven agent base class.
+//
+// The paper's algorithms are written as sequential programs ("visit v,
+// return, repeat"), while the simulator drives agents one round at a time.
+// ScriptedAgent bridges the two: subclasses implement on_idle(), which runs
+// whenever the operation queue is empty and enqueues the next short batch
+// of per-round operations (moves addressed by neighbor ID, whiteboard
+// writes, waits). Requires the KT1 model because moves are addressed by ID.
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "sim/view.hpp"
+
+namespace fnr::sim {
+
+class ScriptedAgent : public Agent {
+ public:
+  Action step(const View& view) final {
+    if (ops_.empty()) on_idle(view);
+    if (ops_.empty()) return Action::stay();
+
+    Op op = ops_.front();
+    ops_.pop_front();
+
+    if (op.wait_until.has_value()) {
+      // Hold position until the given absolute round; re-arm while early.
+      if (view.round() + 1 < *op.wait_until) ops_.push_front(op);
+      Action action = Action::stay();
+      action.whiteboard_write = op.write;
+      return action;
+    }
+
+    Action action;
+    action.whiteboard_write = op.write;
+    if (op.move_to.has_value()) action.move_port = view.port_of(*op.move_to);
+    return action;
+  }
+
+  [[nodiscard]] std::size_t memory_words() const override {
+    return ops_.size() * 2;
+  }
+
+ protected:
+  /// Called with the agent's current view whenever the plan is empty.
+  /// Implementations observe the view and enqueue the next operations; if
+  /// nothing is enqueued the agent stays put this round.
+  virtual void on_idle(const View& view) = 0;
+
+  /// One round: move to adjacent vertex `v`.
+  void plan_move(graph::VertexId v) { ops_.push_back(Op{v, {}, {}}); }
+
+  /// One round per hop along `hops` (each must be adjacent when reached).
+  void plan_route(const std::vector<graph::VertexId>& hops) {
+    for (const auto v : hops) plan_move(v);
+  }
+
+  /// One round: write the current whiteboard, stay.
+  void plan_write(std::uint64_t value) { ops_.push_back(Op{{}, value, {}}); }
+
+  /// One round: write the current whiteboard and move to `v`.
+  void plan_write_and_move(std::uint64_t value, graph::VertexId v) {
+    ops_.push_back(Op{v, value, {}});
+  }
+
+  /// Stay for `rounds` rounds.
+  void plan_wait(std::uint64_t rounds) {
+    for (std::uint64_t i = 0; i < rounds; ++i) ops_.push_back(Op{{}, {}, {}});
+  }
+
+  /// Stay until the global round counter reaches `round` (no-op if past).
+  void plan_wait_until(std::uint64_t round) {
+    ops_.push_back(Op{{}, {}, round});
+  }
+
+  [[nodiscard]] bool plan_empty() const noexcept { return ops_.empty(); }
+  void plan_clear() noexcept { ops_.clear(); }
+
+ private:
+  struct Op {
+    std::optional<graph::VertexId> move_to;
+    std::optional<std::uint64_t> write;
+    std::optional<std::uint64_t> wait_until;
+  };
+  std::deque<Op> ops_;
+};
+
+}  // namespace fnr::sim

@@ -1,0 +1,35 @@
+#include "sim/view.hpp"
+
+namespace fnr::sim {
+
+const std::vector<graph::VertexId>& View::neighbor_ids() const {
+  FNR_CHECK_MSG(model_.neighborhood_ids,
+                "model does not grant access to neighborhood IDs");
+  FNR_CHECK(graph_ != nullptr);
+  if (!neighbor_ids_filled_) {
+    const auto nbrs = graph_->neighbors(here_index_);
+    neighbor_ids_cache_.resize(nbrs.size());
+    for (std::size_t port = 0; port < nbrs.size(); ++port)
+      neighbor_ids_cache_[port] = graph_->id_of(nbrs[port]);
+    neighbor_ids_filled_ = true;
+  }
+  return neighbor_ids_cache_;
+}
+
+std::size_t View::port_of(graph::VertexId id) const {
+  FNR_CHECK_MSG(model_.neighborhood_ids,
+                "model does not grant access to neighborhood IDs");
+  FNR_CHECK(graph_ != nullptr);
+  const graph::VertexIndex target = graph_->try_index_of(id);
+  FNR_CHECK_MSG(target != graph::kNoVertex,
+                "ID " << id << " names no vertex");
+  return graph_->port_to(here_index_, target);
+}
+
+std::optional<std::uint64_t> View::whiteboard() const {
+  FNR_CHECK_MSG(model_.whiteboards, "model has no whiteboards");
+  FNR_CHECK(boards_ != nullptr);
+  return boards_->read(here_index_);
+}
+
+}  // namespace fnr::sim

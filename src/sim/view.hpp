@@ -1,0 +1,123 @@
+// The agent's window onto the world.
+//
+// Algorithms never see the Graph; each round they receive a View exposing
+// exactly the observations the paper's model grants: the agent's own name,
+// the current vertex's ID and degree, the accessible port map (neighbor IDs
+// only under KT1), the whiteboard at the current vertex (only if the model
+// has whiteboards), the ID bound n', and the global round counter. The
+// lower-bound experiments rely on this enforcement: an algorithm written
+// against View physically cannot use what the model withholds.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/model.hpp"
+#include "sim/whiteboard.hpp"
+
+namespace fnr::sim {
+
+class Scheduler;
+
+class View {
+ public:
+  [[nodiscard]] AgentName agent() const noexcept { return agent_; }
+  [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
+
+  /// ID of the current vertex (IDs are always visible; §2.1).
+  [[nodiscard]] graph::VertexId here() const noexcept { return here_id_; }
+  [[nodiscard]] std::size_t degree() const noexcept { return degree_; }
+
+  /// n' — exclusive upper bound on vertex IDs, known to agents.
+  [[nodiscard]] graph::VertexId id_bound() const noexcept { return id_bound_; }
+  /// Number of vertices n. The paper lets agents know n (they compute log n
+  /// and thresholds from it); we expose it explicitly.
+  [[nodiscard]] std::size_t num_vertices() const noexcept { return n_; }
+
+  /// Whether neighbor IDs are observable (KT1).
+  [[nodiscard]] bool has_neighborhood_ids() const noexcept {
+    return model_.neighborhood_ids;
+  }
+  [[nodiscard]] bool has_whiteboards() const noexcept {
+    return model_.whiteboards;
+  }
+
+  /// IDs of the current vertex's neighbors, indexed by port. Filled lazily so
+  /// rounds that never inspect the neighborhood cost O(1).
+  /// Throws CheckError unless the model grants neighborhood IDs.
+  [[nodiscard]] const std::vector<graph::VertexId>& neighbor_ids() const;
+
+  /// Port leading to the neighbor with ID `id`; requires KT1 and that `id`
+  /// names a neighbor of the current vertex. (Computed via the graph's index
+  /// structures for speed; observationally identical to scanning
+  /// neighbor_ids().)
+  [[nodiscard]] std::size_t port_of(graph::VertexId id) const;
+
+  /// Whiteboard content at the current vertex; requires a whiteboard model.
+  [[nodiscard]] std::optional<std::uint64_t> whiteboard() const;
+
+  /// The port of the current vertex through which the agent arrived last
+  /// round (standard in port-numbered mobile-agent models; lets port-only
+  /// agents backtrack). nullopt at the start vertex or after staying.
+  [[nodiscard]] std::optional<std::size_t> arrival_port() const noexcept {
+    return arrival_port_;
+  }
+
+ private:
+  friend class Scheduler;
+  View() = default;
+
+  AgentName agent_ = AgentName::A;
+  std::uint64_t round_ = 0;
+  graph::VertexId here_id_ = 0;
+  std::size_t degree_ = 0;
+  graph::VertexId id_bound_ = 0;
+  std::size_t n_ = 0;
+  Model model_;
+  const graph::Graph* graph_ = nullptr;  // non-owning; private to the View
+  Whiteboards* boards_ = nullptr;        // non-owning; null w/o whiteboards
+  graph::VertexIndex here_index_ = graph::kNoVertex;
+  std::optional<std::size_t> arrival_port_;
+  mutable std::vector<graph::VertexId> neighbor_ids_cache_;
+  mutable bool neighbor_ids_filled_ = false;
+};
+
+/// What an agent does in a round: optionally write the current vertex's
+/// whiteboard, then stay or move through a port.
+struct Action {
+  static constexpr std::size_t kStay = static_cast<std::size_t>(-1);
+
+  std::size_t move_port = kStay;
+  std::optional<std::uint64_t> whiteboard_write;
+
+  [[nodiscard]] static Action stay() noexcept { return {}; }
+  [[nodiscard]] static Action move(std::size_t port) noexcept {
+    Action a;
+    a.move_port = port;
+    return a;
+  }
+};
+
+/// Algorithm interface. One instance drives one agent for one run.
+class Agent {
+ public:
+  virtual ~Agent() = default;
+  Agent() = default;
+  Agent(const Agent&) = delete;
+  Agent& operator=(const Agent&) = delete;
+
+  /// Called once per round while the run is live.
+  virtual Action step(const View& view) = 0;
+
+  /// Approximate current internal memory footprint in 64-bit words; used by
+  /// the resource experiment (paper claims O(n log n) bits suffice).
+  [[nodiscard]] virtual std::size_t memory_words() const { return 0; }
+
+  /// Single-agent runs (Scheduler::run_single) stop when this turns true;
+  /// ignored in two-agent runs (those end at rendezvous).
+  [[nodiscard]] virtual bool halted() const { return false; }
+};
+
+}  // namespace fnr::sim

@@ -1,0 +1,25 @@
+#include "sim/whiteboard.hpp"
+
+namespace fnr::sim {
+
+Whiteboards::Whiteboards(std::size_t num_vertices) : cells_(num_vertices) {}
+
+std::optional<std::uint64_t> Whiteboards::read(graph::VertexIndex v) {
+  FNR_CHECK(v < cells_.size());
+  ++reads_;
+  return cells_[v];
+}
+
+void Whiteboards::write(graph::VertexIndex v, std::uint64_t value) {
+  FNR_CHECK(v < cells_.size());
+  ++writes_;
+  if (!cells_[v].has_value()) ++used_;
+  cells_[v] = value;
+}
+
+void Whiteboards::clear_all() {
+  for (auto& cell : cells_) cell.reset();
+  used_ = 0;
+}
+
+}  // namespace fnr::sim

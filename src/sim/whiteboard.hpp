@@ -1,0 +1,37 @@
+// Per-vertex whiteboard storage (paper §2.1).
+//
+// Our algorithms only ever store one O(log n)-bit word (the ID of b's start
+// vertex), matching the paper's remark that O(log n) bits per whiteboard
+// suffice. The store counts accesses for the resource experiments.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace fnr::sim {
+
+class Whiteboards {
+ public:
+  /// All boards start empty (⊥ in the pseudocode).
+  explicit Whiteboards(std::size_t num_vertices);
+
+  [[nodiscard]] std::optional<std::uint64_t> read(graph::VertexIndex v);
+  void write(graph::VertexIndex v, std::uint64_t value);
+  void clear_all();
+
+  [[nodiscard]] std::uint64_t reads() const noexcept { return reads_; }
+  [[nodiscard]] std::uint64_t writes() const noexcept { return writes_; }
+  /// Number of boards currently holding a value.
+  [[nodiscard]] std::size_t used_boards() const noexcept { return used_; }
+
+ private:
+  std::vector<std::optional<std::uint64_t>> cells_;
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+  std::size_t used_ = 0;
+};
+
+}  // namespace fnr::sim

@@ -1,0 +1,67 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace fnr {
+
+Cli::Cli(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    FNR_CHECK_MSG(arg.rfind("--", 0) == 0,
+                  "expected --name[=value], got '" << arg << "'");
+    const std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq == std::string::npos) {
+      values_[body] = "1";
+    } else {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+    }
+  }
+}
+
+std::int64_t Cli::get_int(const std::string& name, std::int64_t fallback) {
+  declared_.insert(name);
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  FNR_CHECK_MSG(end != nullptr && *end == '\0',
+                "option --" << name << " expects an integer, got '"
+                            << it->second << "'");
+  return v;
+}
+
+double Cli::get_double(const std::string& name, double fallback) {
+  declared_.insert(name);
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  FNR_CHECK_MSG(end != nullptr && *end == '\0',
+                "option --" << name << " expects a number, got '"
+                            << it->second << "'");
+  return v;
+}
+
+std::string Cli::get_string(const std::string& name, std::string fallback) {
+  declared_.insert(name);
+  const auto it = values_.find(name);
+  return it == values_.end() ? std::move(fallback) : it->second;
+}
+
+bool Cli::get_flag(const std::string& name) {
+  declared_.insert(name);
+  const auto it = values_.find(name);
+  return it != values_.end() && it->second != "0" && it->second != "false";
+}
+
+void Cli::reject_unknown() const {
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    FNR_CHECK_MSG(declared_.contains(name), "unknown option --" << name);
+  }
+}
+
+}  // namespace fnr

@@ -1,0 +1,37 @@
+// Minimal command-line parsing for bench and example binaries.
+//
+// Accepts `--name=value` and `--flag` forms. Unknown options are an error so
+// that typos in experiment sweeps fail loudly instead of silently running
+// the default configuration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+namespace fnr {
+
+class Cli {
+ public:
+  /// Parses argv. Throws CheckError on malformed input.
+  Cli(int argc, const char* const* argv);
+
+  /// Declares an option and returns its value (or `fallback` if absent).
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback);
+  [[nodiscard]] double get_double(const std::string& name, double fallback);
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       std::string fallback);
+  [[nodiscard]] bool get_flag(const std::string& name);
+
+  /// Call after all get_* declarations; throws if the user passed an option
+  /// that was never declared.
+  void reject_unknown() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::set<std::string> declared_;
+};
+
+}  // namespace fnr

@@ -1,0 +1,29 @@
+#include "util/log.hpp"
+
+namespace fnr {
+
+namespace {
+LogLevel g_level = LogLevel::Warn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() noexcept { return g_level; }
+void set_log_level(LogLevel level) noexcept { g_level = level; }
+
+namespace detail {
+void emit_log(LogLevel level, const std::string& msg) {
+  std::cerr << '[' << level_name(level) << "] " << msg << '\n';
+}
+}  // namespace detail
+
+}  // namespace fnr

@@ -1,0 +1,25 @@
+#include "util/rng.hpp"
+
+#include <unordered_set>
+
+namespace fnr {
+
+std::vector<std::uint64_t> sample_without_replacement(std::uint64_t n,
+                                                      std::uint64_t k,
+                                                      Rng& rng) {
+  FNR_CHECK_MSG(k <= n, "cannot sample " << k << " distinct values from " << n);
+  std::vector<std::uint64_t> result;
+  result.reserve(k);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(k * 2);
+  // Floyd's algorithm: for j = n-k .. n-1, draw t in [0, j]; if taken, use j.
+  for (std::uint64_t j = n - k; j < n; ++j) {
+    const std::uint64_t t = rng.below(j + 1);
+    const std::uint64_t pick = seen.contains(t) ? j : t;
+    seen.insert(pick);
+    result.push_back(pick);
+  }
+  return result;
+}
+
+}  // namespace fnr

@@ -1,0 +1,128 @@
+// Deterministic random number generation for the simulator.
+//
+// All randomness in the library flows through Rng, a xoshiro256** engine
+// seeded via splitmix64. A (seed, stream) pair fully determines the
+// sequence, so every experiment is reproducible from its recorded seeds.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace fnr {
+
+/// splitmix64 step; used for seeding and as a cheap stateless mixer.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 — fast, high-quality 64-bit PRNG.
+/// Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the engine. `stream` decorrelates multiple generators sharing a
+  /// base seed (e.g. one per agent, one for the graph).
+  explicit Rng(std::uint64_t seed = 0, std::uint64_t stream = 0) noexcept {
+    std::uint64_t sm = seed ^ (0x6a09e667f3bcc909ULL * (stream + 1));
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+  [[nodiscard]] static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound) noexcept {
+    FNR_ASSERT(bound > 0);
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (low < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  [[nodiscard]] std::int64_t between(std::int64_t lo, std::int64_t hi) noexcept {
+    FNR_ASSERT(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(below(span));
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform01() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0, 1]).
+  [[nodiscard]] bool bernoulli(double p) noexcept {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform01() < p;
+  }
+
+  /// Derives an independent child generator; used to hand each agent /
+  /// subsystem its own stream.
+  [[nodiscard]] Rng split() noexcept {
+    return Rng((*this)(), (*this)());
+  }
+
+ private:
+  [[nodiscard]] static constexpr std::uint64_t rotl(std::uint64_t x,
+                                                    int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Uniformly chooses one element of a non-empty vector.
+template <typename T>
+[[nodiscard]] const T& choose(const std::vector<T>& items, Rng& rng) {
+  FNR_CHECK_MSG(!items.empty(), "choose() from empty vector");
+  return items[rng.below(items.size())];
+}
+
+/// Fisher–Yates shuffle.
+template <typename T>
+void shuffle(std::vector<T>& items, Rng& rng) noexcept {
+  for (std::size_t i = items.size(); i > 1; --i) {
+    using std::swap;
+    swap(items[i - 1], items[rng.below(i)]);
+  }
+}
+
+/// k distinct indices sampled uniformly from [0, n) (Floyd's algorithm).
+/// Requires k <= n. Result is in no particular order.
+[[nodiscard]] std::vector<std::uint64_t> sample_without_replacement(
+    std::uint64_t n, std::uint64_t k, Rng& rng);
+
+}  // namespace fnr

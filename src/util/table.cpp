@@ -1,0 +1,98 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace fnr {
+
+std::string format_double(double value, int digits) {
+  if (!std::isfinite(value)) return value > 0 ? "inf" : (value < 0 ? "-inf" : "nan");
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(digits);
+  os << value;
+  std::string s = os.str();
+  if (s.find('.') != std::string::npos) {
+    while (s.back() == '0') s.pop_back();
+    if (s.back() == '.') s.pop_back();
+  }
+  return s;
+}
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  FNR_CHECK_MSG(!header_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  FNR_CHECK_MSG(cells.size() == header_.size(),
+                "row arity " << cells.size() << " != header arity "
+                             << header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_markdown() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += ' ' + row[c] + std::string(widths[c] - row[c].size(), ' ') + " |";
+    }
+    return line + '\n';
+  };
+
+  std::string out = emit_row(header_);
+  out += "|";
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    out += std::string(widths[c] + 2, '-') + "|";
+  out += '\n';
+  for (const auto& row : rows_) out += emit_row(row);
+  return out;
+}
+
+std::string Table::to_csv() const {
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += ',';
+      out += row[c];
+    }
+    out += '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out;
+}
+
+void Table::print(std::ostream& os) const { os << to_markdown() << '\n'; }
+
+RowBuilder& RowBuilder::add(std::string cell) {
+  cells_.push_back(std::move(cell));
+  return *this;
+}
+RowBuilder& RowBuilder::add(const char* cell) {
+  cells_.emplace_back(cell);
+  return *this;
+}
+RowBuilder& RowBuilder::add(std::int64_t value) {
+  cells_.push_back(std::to_string(value));
+  return *this;
+}
+RowBuilder& RowBuilder::add(std::uint64_t value) {
+  cells_.push_back(std::to_string(value));
+  return *this;
+}
+RowBuilder& RowBuilder::add(double value, int digits) {
+  cells_.push_back(format_double(value, digits));
+  return *this;
+}
+
+}  // namespace fnr

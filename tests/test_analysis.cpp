@@ -1,0 +1,96 @@
+// Unit tests for graph analysis: BFS, distances, neighborhood intersections,
+// and the (z, α, β)-dense condition checker of Definition 3.
+#include <gtest/gtest.h>
+
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+
+namespace fnr::graph {
+namespace {
+
+TEST(Bfs, DistancesOnPath) {
+  const Graph g = make_path(5);
+  const auto dist = bfs_distances(g, 0);
+  for (std::uint32_t v = 0; v < 5; ++v) EXPECT_EQ(dist[v], v);
+}
+
+TEST(Bfs, UnreachableIsMarked) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  const Graph g = std::move(b).build_identity_ids();
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], kUnreachable);
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(Distance, MatchesBfs) {
+  const Graph g = make_ring(10);
+  EXPECT_EQ(distance(g, 0, 0), 0u);
+  EXPECT_EQ(distance(g, 0, 1), 1u);
+  EXPECT_EQ(distance(g, 0, 5), 5u);
+  EXPECT_EQ(distance(g, 0, 7), 3u);
+}
+
+TEST(Intersection, CompleteGraphClosedNeighborhoods) {
+  const Graph g = make_complete(6);
+  // N+(u) = V for all u, so any intersection is n.
+  EXPECT_EQ(closed_neighborhood_intersection(g, 0, 3), 6u);
+  EXPECT_EQ(closed_neighborhood_intersection(g, 2, 2), 6u);
+}
+
+TEST(Intersection, PathEndpoints) {
+  const Graph g = make_path(4);  // 0-1-2-3
+  // N+(0) = {0,1}, N+(3) = {2,3}: disjoint.
+  EXPECT_EQ(closed_neighborhood_intersection(g, 0, 3), 0u);
+  // N+(0) = {0,1}, N+(1) = {0,1,2}: both 0 and 1 shared.
+  EXPECT_EQ(closed_neighborhood_intersection(g, 0, 1), 2u);
+  // N+(1) ∩ N+(2) = {0,1,2} ∩ {1,2,3} = {1,2}.
+  EXPECT_EQ(closed_neighborhood_intersection(g, 1, 2), 2u);
+}
+
+TEST(Intersection, StarCenterVsLeaf) {
+  const Graph g = make_star(5);
+  // N+(0) = everything; N+(leaf) = {leaf, 0}.
+  EXPECT_EQ(closed_neighborhood_intersection(g, 0, 1), 2u);
+  // Two leaves share only the center.
+  EXPECT_EQ(closed_neighborhood_intersection(g, 1, 2), 1u);
+}
+
+TEST(DenseSet, WholeVertexSetOnCompleteGraph) {
+  const Graph g = make_complete(8);
+  std::vector<VertexIndex> all;
+  for (VertexIndex v = 0; v < 8; ++v) all.push_back(v);
+  // Every u has |T ∩ N+(u)| = 8 >= alpha for alpha <= 8.
+  EXPECT_TRUE(is_dense_set(g, 0, all, 8.0, 2));
+  EXPECT_FALSE(is_dense_set(g, 0, all, 8.5, 2));
+}
+
+TEST(DenseSet, RequiresStartMembership) {
+  const Graph g = make_complete(4);
+  EXPECT_FALSE(is_dense_set(g, 0, {1, 2, 3}, 1.0, 2));
+}
+
+TEST(DenseSet, RequiresRadius) {
+  const Graph g = make_path(6);
+  // T containing a vertex at distance 3 violates beta = 2.
+  EXPECT_FALSE(is_dense_set(g, 0, {0, 1, 2, 3}, 1.0, 2));
+}
+
+TEST(DenseSet, RequiresHeavyNeighborhood) {
+  const Graph g = make_star(4);  // center 0
+  // T = {0}: leaf 1 has |T ∩ N+(1)| = |{0}| = 1 >= 1, so alpha=1 works...
+  EXPECT_TRUE(is_dense_set(g, 0, {0}, 1.0, 2));
+  // ...but alpha=2 fails because leaves see only the center in T.
+  EXPECT_FALSE(is_dense_set(g, 0, {0}, 2.0, 2));
+}
+
+TEST(ValidateStructure, AcceptsGeneratedGraphs) {
+  EXPECT_TRUE(validate_structure(make_complete(5)));
+  EXPECT_TRUE(validate_structure(make_ring(5)));
+  EXPECT_TRUE(validate_structure(make_grid(4, 4)));
+}
+
+}  // namespace
+}  // namespace fnr::graph

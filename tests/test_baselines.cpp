@@ -1,0 +1,151 @@
+// Baseline algorithms: the trivial O(Δ) sweep, O(n) exploration, random
+// walks, and the Anderson-Weber complete-graph algorithm.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/anderson_weber.hpp"
+#include "baselines/random_walk.hpp"
+#include "baselines/wait_and_explore.hpp"
+#include "baselines/wait_and_sweep.hpp"
+#include "graph/generators.hpp"
+#include "sim/scheduler.hpp"
+#include "test_support.hpp"
+#include "util/stats.hpp"
+
+namespace fnr::baselines {
+namespace {
+
+TEST(WaitAndSweep, MeetsWithinTwoDegreeRounds) {
+  Rng rng(3);
+  const auto g = graph::make_near_regular(128, 8, rng);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng prng(seed);
+    const auto placement = sim::random_adjacent_placement(g, prng);
+    sim::Scheduler scheduler(g, sim::Model::port_only());
+    SweepAgent a;
+    WaitingAgent b;
+    const auto result = scheduler.run(
+        a, b, placement, 2 * g.max_degree() + 4);
+    ASSERT_TRUE(result.met) << "seed " << seed;
+    EXPECT_LE(result.meeting_round, 2 * g.degree(placement.a_start));
+  }
+}
+
+TEST(WaitAndSweep, WorksWithoutNeighborhoodIdsOrWhiteboards) {
+  // The whole point of the trivial bound: it needs nothing but ports.
+  const auto g = graph::make_complete(32);
+  sim::Scheduler scheduler(g, sim::Model{false, false});
+  SweepAgent a;
+  WaitingAgent b;
+  const auto result = scheduler.run(a, b, sim::Placement{0, 17}, 100);
+  EXPECT_TRUE(result.met);
+}
+
+TEST(WaitAndSweep, LastPortIsWorstCase) {
+  // On a star with b at the highest-index leaf, the sweep needs ~2Δ rounds.
+  const auto g = graph::make_star(50);
+  sim::Scheduler scheduler(g, sim::Model::port_only());
+  SweepAgent a;
+  WaitingAgent b;
+  const auto result = scheduler.run(a, b, sim::Placement{0, 50}, 200);
+  ASSERT_TRUE(result.met);
+  EXPECT_GE(result.meeting_round, 2u * 49u);
+}
+
+TEST(WaitAndExplore, CoversEveryVertexWithinTwoN) {
+  Rng rng(5);
+  const auto g = graph::make_near_regular(128, 5, rng);
+  sim::Scheduler scheduler(g, sim::Model::full());
+  ExploreAgent agent;
+  const auto result = scheduler.run_single(agent, 0, 4 * g.num_vertices());
+  (void)result;
+  EXPECT_EQ(agent.visited_count(), g.num_vertices());
+  EXPECT_LE(result.metrics.moves[0], 2 * g.num_vertices());
+}
+
+TEST(WaitAndExplore, MeetsOnRingInLinearTime) {
+  const auto g = graph::make_ring(64);
+  sim::Scheduler scheduler(g, sim::Model::full());
+  ExploreAgent a;
+  WaitingAgent b;
+  const auto result = scheduler.run(a, b, sim::Placement{0, 32}, 300);
+  ASSERT_TRUE(result.met);
+  EXPECT_LE(result.meeting_round, 2u * 64u);
+}
+
+TEST(WaitAndExplore, HaltsAfterFullExploration) {
+  const auto g = graph::make_path(16);
+  sim::Scheduler scheduler(g, sim::Model::full());
+  ExploreAgent agent;
+  (void)scheduler.run_single(agent, 0, 100);
+  EXPECT_TRUE(agent.finished());
+}
+
+TEST(RandomWalk, TwoWalkersMeetOnCompleteGraph) {
+  const auto g = graph::make_complete(32);
+  int met = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    sim::Scheduler scheduler(g, sim::Model::port_only());
+    RandomWalkAgent a(Rng(seed, 1));
+    RandomWalkAgent b(Rng(seed, 2));
+    const auto result =
+        scheduler.run(a, b, sim::Placement{0, 1}, 100 * g.num_vertices());
+    met += result.met;
+  }
+  EXPECT_EQ(met, 10);
+}
+
+TEST(RandomWalk, LazinessBreaksBipartiteParity) {
+  // On an even ring two synchronized non-lazy walkers at odd distance can
+  // co-locate only via lazy steps.
+  const auto g = graph::make_ring(8);
+  sim::Scheduler scheduler(g, sim::Model::port_only());
+  RandomWalkAgent a(Rng(3, 1), 0.5);
+  RandomWalkAgent b(Rng(3, 2), 0.5);
+  const auto result = scheduler.run(a, b, sim::Placement{0, 1}, 20000);
+  EXPECT_TRUE(result.met);
+}
+
+TEST(AndersonWeber, MeetsOnCompleteGraph) {
+  const auto g = graph::make_complete(256);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    sim::Scheduler scheduler(g, sim::Model::full());
+    AndersonWeberAgentA a{Rng(seed, 1)};
+    AndersonWeberAgentB b{Rng(seed, 2)};
+    const auto result =
+        scheduler.run(a, b, sim::Placement{3, 200}, 50 * g.num_vertices());
+    EXPECT_TRUE(result.met) << "seed " << seed;
+  }
+}
+
+TEST(AndersonWeber, SqrtNScalingIsPlausible) {
+  // Median meeting time on K_n should scale far below n (birthday bound).
+  const auto g = graph::make_complete(1024);
+  std::vector<double> rounds;
+  for (std::uint64_t seed = 1; seed <= 9; ++seed) {
+    sim::Scheduler scheduler(g, sim::Model::full());
+    AndersonWeberAgentA a{Rng(seed, 1)};
+    AndersonWeberAgentB b{Rng(seed, 2)};
+    const auto result =
+        scheduler.run(a, b, sim::Placement{0, 1}, 100 * g.num_vertices());
+    ASSERT_TRUE(result.met);
+    rounds.push_back(static_cast<double>(result.meeting_round));
+  }
+  const double median = summarize(rounds).median;
+  // ~4·sqrt(n) expected probes with 2 rounds each; allow a wide margin but
+  // stay well under n = 1024.
+  EXPECT_LT(median, 512.0);
+}
+
+TEST(AndersonWeber, RejectsNonCompleteGraphs) {
+  const auto g = graph::make_ring(16);
+  sim::Scheduler scheduler(g, sim::Model::full());
+  AndersonWeberAgentA a{Rng(1, 1)};
+  AndersonWeberAgentB b{Rng(1, 2)};
+  EXPECT_THROW((void)scheduler.run(a, b, sim::Placement{0, 1}, 10),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace fnr::baselines

@@ -1,0 +1,135 @@
+// Cross-module integration: the full strategy × family × seed matrix,
+// resource accounting, and failure injection.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/id_space.hpp"
+#include "test_support.hpp"
+
+namespace fnr::core {
+namespace {
+
+struct MatrixCase {
+  const char* family;
+  Strategy strategy;
+  std::size_t n;
+  std::uint64_t seed;
+};
+
+graph::Graph make_family(const std::string& family, std::size_t n,
+                         std::uint64_t seed) {
+  Rng rng(seed, 101);
+  if (family == "complete") return graph::make_complete(n);
+  if (family == "near_regular")
+    return graph::make_near_regular(
+        n, static_cast<std::size_t>(std::pow(double(n), 0.75)), rng);
+  return graph::make_hub_augmented(n, n / 8, 2, rng);
+}
+
+class StrategyFamilyMatrix : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(StrategyFamilyMatrix, MeetsAndAccountsResources) {
+  const auto& param = GetParam();
+  const auto g = make_family(param.family, param.n, param.seed);
+  const auto report = test::quick_run(g, param.strategy, param.seed);
+  ASSERT_TRUE(report.run.met) << report.describe();
+
+  // Memory: paper claims O(n log n) bits = O(n) words per agent.
+  const std::size_t word_budget = 64 * param.n + 4096;
+  EXPECT_LE(report.run.metrics.peak_memory_words[0], word_budget);
+  EXPECT_LE(report.run.metrics.peak_memory_words[1], word_budget);
+
+  // Whiteboards: the protocol stores one ID per board.
+  if (param.strategy != Strategy::NoWhiteboard) {
+    EXPECT_LE(report.run.metrics.whiteboards_used, param.n);
+  } else {
+    EXPECT_EQ(report.run.metrics.whiteboard_writes, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, StrategyFamilyMatrix,
+    ::testing::Values(
+        MatrixCase{"complete", Strategy::Whiteboard, 128, 1},
+        MatrixCase{"complete", Strategy::WhiteboardDoubling, 128, 2},
+        MatrixCase{"complete", Strategy::NoWhiteboard, 128, 3},
+        MatrixCase{"near_regular", Strategy::Whiteboard, 256, 4},
+        MatrixCase{"near_regular", Strategy::WhiteboardDoubling, 256, 5},
+        MatrixCase{"near_regular", Strategy::NoWhiteboard, 256, 6},
+        MatrixCase{"hub", Strategy::Whiteboard, 256, 7},
+        MatrixCase{"hub", Strategy::WhiteboardDoubling, 256, 8},
+        MatrixCase{"hub", Strategy::NoWhiteboard, 256, 9}),
+    [](const auto& info) {
+      const char* strategy =
+          info.param.strategy == Strategy::Whiteboard
+              ? "wb"
+              : (info.param.strategy == Strategy::WhiteboardDoubling
+                     ? "wbdouble"
+                     : "nowb");
+      return std::string(info.param.family) + "_" + strategy + "_n" +
+             std::to_string(info.param.n);
+    });
+
+TEST(Integration, SuccessRateIsHighAcrossSeeds) {
+  // The w.h.p. guarantee, sampled: 20 seeds on one graph must all meet
+  // within the automatic cap.
+  const auto g = test::dense_graph(256, 123);
+  int met = 0;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed)
+    met += test::quick_run(g, Strategy::Whiteboard, seed).run.met;
+  EXPECT_EQ(met, 20);
+}
+
+TEST(Integration, ReportDescribesItself) {
+  const auto g = test::dense_graph(128, 5);
+  const auto report = test::quick_run(g, Strategy::Whiteboard, 2);
+  const auto text = report.describe();
+  EXPECT_NE(text.find("met"), std::string::npos);
+  EXPECT_NE(text.find("T^a"), std::string::npos);
+}
+
+TEST(Integration, RejectsIsolatedVertices) {
+  graph::GraphBuilder b(3);
+  b.add_edge(0, 1);  // vertex 2 isolated
+  const auto g = std::move(b).build_identity_ids();
+  RendezvousOptions options;
+  EXPECT_THROW((void)run_rendezvous(g, sim::Placement{0, 1}, options),
+               CheckError);
+}
+
+TEST(Integration, AutoCapScalesWithTheBounds) {
+  const auto g = test::dense_graph(256, 9);
+  const auto params = Params::practical();
+  const auto cap_wb = auto_round_cap(g, Strategy::Whiteboard, params);
+  const auto cap_nowb = auto_round_cap(g, Strategy::NoWhiteboard, params);
+  EXPECT_GT(cap_wb, params.construct_round_budget(
+                        g.num_vertices(),
+                        static_cast<double>(g.min_degree()) / 2.0));
+  EXPECT_GT(cap_nowb, cap_wb / 64);  // same ballpark, different shape
+}
+
+TEST(Integration, SparseNamingStillFineForWhiteboardStrategy) {
+  // Theorem 1 does not need tight naming — polynomial IDs must work.
+  Rng rng(4);
+  const auto base = test::dense_graph(256, 77);
+  const auto sparse = graph::with_ids(
+      base, graph::sparse_ids(base.num_vertices(), 2.0, rng));
+  const auto report = test::quick_run(sparse, Strategy::Whiteboard, 15);
+  EXPECT_TRUE(report.run.met) << report.describe();
+}
+
+TEST(Integration, MetricsAreInternallyConsistent) {
+  const auto g = test::dense_graph(256, 33);
+  const auto report = test::quick_run(g, Strategy::Whiteboard, 44);
+  ASSERT_TRUE(report.run.met);
+  const auto& m = report.run.metrics;
+  // An agent cannot move more often than rounds executed.
+  EXPECT_LE(m.moves[0], m.rounds);
+  EXPECT_LE(m.moves[1], m.rounds);
+  // b's marking writes happen at most once per round.
+  EXPECT_LE(m.whiteboard_writes, m.rounds + 1);
+}
+
+}  // namespace
+}  // namespace fnr::core

@@ -1,0 +1,162 @@
+// Lower-bound machinery: hard-instance structure (Theorems 3-5 / Figures
+// 1-3), the Lemma 9 adaptive adversary, and the glued Theorem 6 instance.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/wait_and_sweep.hpp"
+#include "graph/analysis.hpp"
+#include "lower_bounds/adversary.hpp"
+#include "lower_bounds/instances.hpp"
+#include "test_support.hpp"
+
+namespace fnr::lower_bounds {
+namespace {
+
+TEST(Instances, Theorem3ShapeAndPromise) {
+  const auto inst = theorem3_instance(64);
+  EXPECT_EQ(inst.graph.min_degree(), 1u);
+  EXPECT_EQ(inst.graph.max_degree(), 65u);
+  EXPECT_EQ(graph::distance(inst.graph, inst.placement.a_start,
+                            inst.placement.b_start),
+            1u);
+  EXPECT_TRUE(inst.model.neighborhood_ids);
+  EXPECT_TRUE(inst.model.whiteboards);
+}
+
+TEST(Instances, Theorem3GeneralControlsDelta) {
+  const auto inst = theorem3_general_instance(16, 6);
+  EXPECT_EQ(inst.graph.min_degree(), 5u);
+  EXPECT_EQ(inst.graph.degree(inst.placement.a_start), 17u);
+  EXPECT_EQ(graph::distance(inst.graph, inst.placement.a_start,
+                            inst.placement.b_start),
+            1u);
+}
+
+TEST(Instances, Theorem4HidesNeighborhoodIds) {
+  const auto inst = theorem4_instance(32);
+  EXPECT_FALSE(inst.model.neighborhood_ids);
+  EXPECT_EQ(inst.graph.min_degree(), 31u);
+  EXPECT_EQ(inst.graph.max_degree(), 31u);
+  EXPECT_EQ(graph::distance(inst.graph, inst.placement.a_start,
+                            inst.placement.b_start),
+            1u);
+}
+
+TEST(Instances, Theorem5StartsAtDistanceTwo) {
+  const auto inst = theorem5_instance(32);
+  EXPECT_EQ(graph::distance(inst.graph, inst.placement.a_start,
+                            inst.placement.b_start),
+            2u);
+  EXPECT_TRUE(inst.model.neighborhood_ids);
+}
+
+TEST(Lemma9, AdversaryStrandsEveryDeterministicWitness) {
+  const std::size_t n = 256;  // final glued size; ID space is n/2 + 1
+  for (const auto factory : {&make_lex_dfs, &make_lex_sweep,
+                             &make_rotor_walk}) {
+    std::vector<graph::VertexId> ids{1000};
+    for (graph::VertexId id = 0; id < n / 2; ++id) ids.push_back(id);
+    const auto transcript = run_lemma9(*factory, ids, n / 32);
+    // |W| >= 13n/32 (Lemma 9).
+    EXPECT_GE(transcript.untouched.size(), 13 * n / 32)
+        << (*factory)()->name();
+    // Untouched vertices are adjacent only to v0.
+    std::set<graph::VertexId> untouched(transcript.untouched.begin(),
+                                        transcript.untouched.end());
+    for (const auto& [u, v] : transcript.edges) {
+      if (untouched.contains(u))
+        EXPECT_EQ(v, transcript.start) << "stranded vertex " << u
+                                       << " has extra edge to " << v;
+      if (untouched.contains(v))
+        EXPECT_EQ(u, transcript.start) << "stranded vertex " << v
+                                       << " has extra edge to " << u;
+    }
+  }
+}
+
+TEST(Lemma9, VisitedSetIsPlausible) {
+  const std::size_t n = 128;
+  std::vector<graph::VertexId> ids{999};
+  for (graph::VertexId id = 0; id < n / 2; ++id) ids.push_back(id);
+  const auto transcript = run_lemma9(&make_lex_dfs, ids, n / 32);
+  // The agent makes n/32 moves, so at most n/32 + 1 distinct vertices.
+  EXPECT_LE(transcript.visited.size(), n / 32 + 1);
+  EXPECT_EQ(transcript.visited.front(), 999u);
+}
+
+TEST(Lemma9, RejectsTinyIdSpaces) {
+  EXPECT_THROW((void)run_lemma9(&make_lex_dfs, {1, 2, 3}, 4), CheckError);
+}
+
+TEST(Theorem6, GluedInstanceShape) {
+  const std::size_t n = 256;
+  const auto inst = build_theorem6_instance(&make_lex_dfs, &make_lex_dfs, n);
+  EXPECT_EQ(inst.graph.num_vertices(), n);
+  EXPECT_EQ(graph::distance(inst.graph, inst.placement.a_start,
+                            inst.placement.b_start),
+            1u);
+  // Minimum degree Θ(n): every W vertex gained the biclique edges.
+  EXPECT_GE(inst.graph.min_degree(), n / 32);
+  EXPECT_GE(inst.w_a, 13 * n / 32 - 1);
+  EXPECT_GE(inst.w_b, 13 * n / 32 - 1);
+  EXPECT_TRUE(graph::is_connected(inst.graph));
+}
+
+TEST(Theorem6, DeterministicPairsNeedLinearTime) {
+  const std::size_t n = 256;
+  struct Pair {
+    DetAgentFactory a;
+    DetAgentFactory b;
+    const char* name;
+  };
+  const Pair pairs[] = {
+      {&make_lex_dfs, &make_lex_dfs, "dfs/dfs"},
+      {&make_lex_sweep, &make_lex_sweep, "sweep/sweep"},
+  };
+  for (const auto& pair : pairs) {
+    const auto inst = build_theorem6_instance(pair.a, pair.b, n);
+    sim::Scheduler scheduler(inst.graph, sim::Model::full());
+    DetAgentAdapter agent_a(pair.a());
+    DetAgentAdapter agent_b(pair.b());
+    const auto result =
+        scheduler.run(agent_a, agent_b, inst.placement, 8 * n);
+    // The theorem's conclusion for these witnesses: no meeting before n/32.
+    if (result.met) {
+      EXPECT_GE(result.meeting_round, n / 32) << pair.name;
+    }
+  }
+}
+
+TEST(Theorem6, RejectsBadN) {
+  EXPECT_THROW((void)build_theorem6_instance(&make_lex_dfs, &make_lex_dfs, 100),
+               CheckError);
+}
+
+TEST(HardInstances, SweepStillWorksButPaysDelta) {
+  // Positive control on the Theorem 4 instance: the trivial sweep meets, but
+  // only after Ω(n) rounds (b sits on the last port of a's sweep order).
+  const auto inst = theorem4_instance(64);
+  sim::Scheduler scheduler(inst.graph, inst.model);
+  baselines::SweepAgent a;
+  baselines::WaitingAgent b;
+  const auto result = scheduler.run(
+      a, b, inst.placement, 4 * inst.graph.num_vertices());
+  ASSERT_TRUE(result.met);
+  EXPECT_GE(result.meeting_round, 63u);  // b_start is a's highest port
+}
+
+TEST(HardInstances, CoreAlgorithmStillMeetsOnTheorem4GraphWithKt1) {
+  // Contrast: the same bridged-cliques topology with the full model is an
+  // easy dense instance for Theorem 1's algorithm (δ = n/2 - 1 >= √n).
+  const auto inst = theorem4_instance(64);
+  core::RendezvousOptions options;
+  options.strategy = core::Strategy::Whiteboard;
+  options.seed = 9;
+  const auto report =
+      core::run_rendezvous(inst.graph, inst.placement, options);
+  EXPECT_TRUE(report.run.met) << report.describe();
+}
+
+}  // namespace
+}  // namespace fnr::lower_bounds

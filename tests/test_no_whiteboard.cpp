@@ -1,0 +1,122 @@
+// Theorem 2 / Algorithm 4: schedule arithmetic, Φ-set properties, and
+// end-to-end whiteboard-free rendezvous.
+#include <gtest/gtest.h>
+
+#include "core/no_whiteboard.hpp"
+#include "graph/id_space.hpp"
+#include "test_support.hpp"
+
+namespace fnr::core {
+namespace {
+
+TEST(NoWbSchedule, ArithmeticIsConsistent) {
+  const auto params = Params::practical();
+  const auto s = NoWbSchedule::make(1024, 1024, 64.0, params);
+  EXPECT_EQ(s.beta, 8u);                       // ceil(sqrt(64))
+  EXPECT_EQ(s.num_blocks, 128u);               // 1024 / 8
+  EXPECT_GE(s.a_wait, 2 * params.b_pass_rounds(1024));
+  EXPECT_EQ(s.phase_end(0), s.t_start + s.phase_len);
+  EXPECT_EQ(s.total_rounds(), s.t_start + s.num_blocks * s.phase_len);
+}
+
+TEST(NoWbSchedule, BlocksCoverRaggedIdSpace) {
+  const auto params = Params::practical();
+  // id_bound not divisible by beta: the last block is short but must exist.
+  const auto s = NoWbSchedule::make(100, 103, 100.0, params);
+  EXPECT_EQ(s.beta, 10u);
+  EXPECT_EQ(s.num_blocks, 11u);
+}
+
+TEST(BuildBlocks, PartitionsSortsAndTruncates) {
+  NoWbSchedule s;
+  s.beta = 10;
+  s.num_blocks = 3;
+  s.block_cap = 2;
+  const auto blocks = build_blocks({25, 3, 21, 7, 1, 23, 29}, s);
+  ASSERT_EQ(blocks.size(), 3u);
+  EXPECT_EQ(blocks[0], (std::vector<graph::VertexId>{1, 3}));  // truncated
+  EXPECT_TRUE(blocks[1].empty());
+  EXPECT_EQ(blocks[2], (std::vector<graph::VertexId>{21, 23}));
+}
+
+TEST(BuildBlocks, RejectsOutOfSpaceIds) {
+  NoWbSchedule s;
+  s.beta = 10;
+  s.num_blocks = 2;
+  s.block_cap = 5;
+  EXPECT_THROW((void)build_blocks({25}, s), CheckError);
+}
+
+TEST(NoWhiteboard, MeetsOnNearRegularGraphs) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const auto g = test::dense_graph(256, seed + 50);
+    const auto report = test::quick_run(g, Strategy::NoWhiteboard, seed * 3);
+    EXPECT_TRUE(report.run.met) << "seed " << seed << " "
+                                << report.describe();
+    EXPECT_EQ(report.run.metrics.whiteboard_writes, 0u);
+    EXPECT_EQ(report.run.metrics.whiteboard_reads, 0u);
+  }
+}
+
+TEST(NoWhiteboard, MeetsOnCompleteGraph) {
+  const auto g = graph::make_complete(128);
+  const auto report = test::quick_run(g, Strategy::NoWhiteboard, 5);
+  EXPECT_TRUE(report.run.met) << report.describe();
+}
+
+TEST(NoWhiteboard, MeetingAfterSynchronizedStart) {
+  // Unless the agents stumbled into each other during Construct, the
+  // meeting must happen inside the phase schedule, i.e. after t'.
+  const auto g = test::dense_graph(256, 60);
+  const auto report = test::quick_run(g, Strategy::NoWhiteboard, 21);
+  ASSERT_TRUE(report.run.met);
+  const auto schedule = NoWbSchedule::make(
+      g.num_vertices(), g.id_bound(), report.delta_used,
+      Params::practical());
+  if (report.run.meeting_round > schedule.t_start) {
+    EXPECT_LE(report.run.meeting_round, schedule.total_rounds() + 1);
+  }
+}
+
+TEST(NoWhiteboard, RequiresTightNaming) {
+  Rng rng(3);
+  const auto base = test::dense_graph(128, 70);
+  const auto sparse = graph::with_ids(
+      base, graph::sparse_ids(base.num_vertices(), 2.0, rng));
+  Rng placement_rng(3, 3);
+  const auto placement = sim::random_adjacent_placement(sparse, placement_rng);
+  RendezvousOptions options;
+  options.strategy = Strategy::NoWhiteboard;
+  EXPECT_THROW((void)run_rendezvous(sparse, placement, options), CheckError);
+}
+
+TEST(NoWhiteboard, WorksUnderShuffledTightNaming) {
+  // Tight naming with slack 2 (IDs random in [0, 2n)) must still work.
+  Rng rng(9);
+  const auto base = test::dense_graph(256, 80);
+  const auto renamed = graph::with_ids(
+      base, graph::tight_ids(base.num_vertices(), 2.0, rng));
+  const auto report = test::quick_run(renamed, Strategy::NoWhiteboard, 31);
+  EXPECT_TRUE(report.run.met) << report.describe();
+}
+
+TEST(NoWhiteboard, DeterministicGivenSeed) {
+  const auto g = test::dense_graph(256, 90);
+  const auto r1 = test::quick_run(g, Strategy::NoWhiteboard, 77);
+  const auto r2 = test::quick_run(g, Strategy::NoWhiteboard, 77);
+  EXPECT_EQ(r1.run.meeting_round, r2.run.meeting_round);
+  EXPECT_EQ(r1.run.meeting_vertex, r2.run.meeting_vertex);
+}
+
+TEST(NoWhiteboard, PhasesUsedStaysInSchedule) {
+  const auto g = test::dense_graph(256, 95);
+  const auto report = test::quick_run(g, Strategy::NoWhiteboard, 41);
+  ASSERT_TRUE(report.run.met);
+  const auto schedule = NoWbSchedule::make(
+      g.num_vertices(), g.id_bound(), report.delta_used,
+      Params::practical());
+  EXPECT_LE(report.agent_a.phases_used, schedule.num_blocks);
+}
+
+}  // namespace
+}  // namespace fnr::core

@@ -1,0 +1,104 @@
+// Unit tests for core::Params: presets, derived quantities, analytic bounds.
+#include <gtest/gtest.h>
+
+#include "core/params.hpp"
+#include "util/check.hpp"
+
+namespace fnr::core {
+namespace {
+
+TEST(Params, PaperPresetMatchesPseudocode) {
+  const auto p = Params::paper();
+  EXPECT_DOUBLE_EQ(p.sample_visit_factor, 96.0);
+  EXPECT_DOUBLE_EQ(p.sample_threshold_factor, 150.0);
+  EXPECT_DOUBLE_EQ(p.probe_factor, 4.0);
+  EXPECT_DOUBLE_EQ(p.heavy_divisor, 8.0);
+  EXPECT_DOUBLE_EQ(p.light_divisor, 2.0);
+  EXPECT_DOUBLE_EQ(p.mark_factor, 4.0);
+  EXPECT_DOUBLE_EQ(p.c2, 18.0);
+}
+
+TEST(Params, PracticalPreservesThresholdOrdering) {
+  // The Sample analysis needs: light expectation (f·ln n) < threshold
+  // (t·ln n) < 4α-heavy expectation (4f·ln n).
+  for (const auto& p : {Params::paper(), Params::practical()}) {
+    EXPECT_LT(p.sample_visit_factor, p.sample_threshold_factor);
+    EXPECT_LT(p.sample_threshold_factor, 4.0 * p.sample_visit_factor);
+  }
+}
+
+TEST(Params, SampleVisitsScalesWithGammaOverAlpha) {
+  const auto p = Params::practical();
+  const auto small = p.sample_visits(100, 10.0, 1000);
+  const auto doubled_gamma = p.sample_visits(200, 10.0, 1000);
+  const auto doubled_alpha = p.sample_visits(100, 20.0, 1000);
+  EXPECT_NEAR(static_cast<double>(doubled_gamma),
+              2.0 * static_cast<double>(small), 2.0);
+  EXPECT_NEAR(static_cast<double>(doubled_alpha),
+              0.5 * static_cast<double>(small), 2.0);
+}
+
+TEST(Params, SampleVisitsEmptyGammaIsZero) {
+  EXPECT_EQ(Params::practical().sample_visits(0, 5.0, 100), 0u);
+}
+
+TEST(Params, SampleVisitsRejectsNonPositiveAlpha) {
+  EXPECT_THROW((void)Params::practical().sample_visits(10, 0.0, 100),
+               CheckError);
+}
+
+TEST(Params, ThresholdGrowsLogarithmically) {
+  const auto p = Params::practical();
+  const auto t1 = p.sample_threshold(1 << 10);
+  const auto t2 = p.sample_threshold(1 << 20);
+  EXPECT_NEAR(static_cast<double>(t2), 2.0 * static_cast<double>(t1), 2.0);
+}
+
+TEST(Params, BlockWidthIsSqrtDelta) {
+  const auto p = Params::practical();
+  EXPECT_EQ(p.block_width(100.0), 10u);
+  EXPECT_EQ(p.block_width(101.0), 11u);  // ceiling
+  EXPECT_EQ(p.block_width(1.0), 1u);
+}
+
+TEST(Params, WaitCoversTwoPasses) {
+  const auto p = Params::practical();
+  for (std::size_t n : {64u, 1024u, 65536u}) {
+    EXPECT_GE(p.a_wait_rounds(n), 2 * p.b_pass_rounds(n));
+    EXPECT_GE(p.phase_rounds(n), p.block_cap(n) * p.a_wait_rounds(n));
+  }
+}
+
+TEST(Params, ConstructBudgetShrinksWithDelta) {
+  const auto p = Params::practical();
+  const auto loose = p.construct_round_budget(4096, 64.0);
+  const auto tight = p.construct_round_budget(4096, 512.0);
+  EXPECT_GT(loose, tight);
+}
+
+TEST(Params, MarkProbabilityIsClamped) {
+  const auto p = Params::paper();
+  EXPECT_DOUBLE_EQ(p.mark_probability(1.0, 1024), 1.0);  // 4 ln n > 1
+  EXPECT_LT(p.mark_probability(1e6, 1024), 0.1);
+}
+
+TEST(Bounds, Theorem1ShapeIsMonotone) {
+  // Larger δ (at fixed n, Δ) must shrink the bound.
+  EXPECT_GT(theorem1_bound(4096, 64, 256), theorem1_bound(4096, 128, 256));
+  // Larger Δ (at fixed n, δ) must grow it.
+  EXPECT_LT(theorem1_bound(4096, 64, 128), theorem1_bound(4096, 64, 4096));
+}
+
+TEST(Bounds, Theorem2ShapeIsMonotone) {
+  EXPECT_GT(theorem2_bound(4096, 64), theorem2_bound(4096, 256));
+  EXPECT_LT(theorem2_bound(4096, 64), theorem2_bound(65536, 64));
+}
+
+TEST(Params, DescribeMentionsPresetValues) {
+  const auto text = Params::paper().describe();
+  EXPECT_NE(text.find("96"), std::string::npos);
+  EXPECT_NE(text.find("150"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fnr::core

@@ -1,0 +1,150 @@
+// Statistical correctness of Algorithm 2 (Sample): heavy vertices are
+// reported heavy, light vertices light, on graphs where ground truth is
+// known exactly (Lemma 2 / Corollary 1).
+#include <gtest/gtest.h>
+
+#include "core/knowledge.hpp"
+#include "core/sample.hpp"
+#include "graph/generators.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/scripted_agent.hpp"
+#include "util/rng.hpp"
+
+namespace fnr::core {
+namespace {
+
+/// Drives one SampleRun from `home` with Γ = N+(home) and records H'.
+class SampleDriver final : public sim::ScriptedAgent {
+ public:
+  SampleDriver(double alpha, const Params& params, Rng rng)
+      : alpha_(alpha), params_(params), rng_(rng) {}
+
+  std::vector<graph::VertexId> heavy;
+  [[nodiscard]] bool halted() const override { return done_; }
+
+ protected:
+  void on_idle(const sim::View& view) override {
+    if (!init_) {
+      knowledge_.init_home(view.here(), view.neighbor_ids());
+      std::vector<graph::VertexId> gamma = knowledge_.ns_list();
+      run_ = std::make_unique<SampleRun>(std::move(gamma), alpha_,
+                                         view.num_vertices(), params_);
+      init_ = true;
+    }
+    if (view.here() != knowledge_.home()) {
+      run_->record_visit(view, knowledge_);
+      plan_route(knowledge_.route_to_home(view.here()));
+      return;
+    }
+    while (auto target = run_->next_target(rng_)) {
+      if (*target == view.here()) {
+        run_->record_visit(view, knowledge_);
+        continue;
+      }
+      plan_route(knowledge_.route_from_home(*target));
+      return;
+    }
+    heavy = run_->heavy_output(knowledge_);
+    done_ = true;
+  }
+
+ private:
+  double alpha_;
+  Params params_;
+  Rng rng_;
+  bool init_ = false;
+  bool done_ = false;
+  Knowledge knowledge_;
+  std::unique_ptr<SampleRun> run_;
+};
+
+std::vector<graph::VertexId> run_sample(const graph::Graph& g,
+                                        graph::VertexIndex home, double alpha,
+                                        const Params& params,
+                                        std::uint64_t seed) {
+  sim::Scheduler scheduler(g, sim::Model::full());
+  SampleDriver driver(alpha, params, Rng(seed));
+  const auto result = scheduler.run_single(driver, home, 10'000'000);
+  EXPECT_TRUE(driver.halted()) << "sample did not finish, rounds="
+                               << result.metrics.rounds;
+  return driver.heavy;
+}
+
+TEST(Sample, CompleteGraphEverythingHeavy) {
+  // K_n: |Γ ∩ N+(u)| = |Γ| = n for every u, so with alpha = n/8 every
+  // member of N+(home) = V must come back heavy.
+  const auto g = graph::make_complete(64);
+  const auto heavy = run_sample(g, 0, 64.0 / 8.0, Params::practical(), 7);
+  EXPECT_EQ(heavy.size(), 64u);
+}
+
+TEST(Sample, StarLeavesAreLight) {
+  // Star with center home: Γ = V. A leaf u has N+(u) = {u, center}, so
+  // |Γ ∩ N+(u)| = 2; the center is n-heavy. With alpha = 10 the output must
+  // be exactly {center}.
+  const auto g = graph::make_star(127);
+  const auto heavy = run_sample(g, 0, 10.0, Params::practical(), 11);
+  ASSERT_EQ(heavy.size(), 1u);
+  EXPECT_EQ(heavy[0], g.id_of(0));
+}
+
+TEST(Sample, PaperConstantsAgreeOnStar) {
+  const auto g = graph::make_star(63);
+  const auto heavy = run_sample(g, 0, 8.0, Params::paper(), 13);
+  ASSERT_EQ(heavy.size(), 1u);
+  EXPECT_EQ(heavy[0], g.id_of(0));
+}
+
+TEST(Sample, ClassificationIsSeedStable) {
+  const auto g = graph::make_star(63);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto heavy = run_sample(g, 0, 10.0, Params::practical(), seed);
+    EXPECT_EQ(heavy.size(), 1u) << "seed " << seed;
+  }
+}
+
+TEST(Sample, BorderlineVerticesLandSomewhere) {
+  // Two hubs sharing half the leaves: the shared leaves' closed
+  // neighborhoods intersect Γ in 3 vertices. With alpha between 1 and 3 the
+  // guarantee only promises: heavy output is alpha-heavy, lights are
+  // 4*alpha-light. Verify no classification violates the one-sided bounds.
+  graph::GraphBuilder b(34);
+  // hub 0 adjacent to all leaves 2..33; hub 1 adjacent to leaves 2..17.
+  for (graph::VertexIndex leaf = 2; leaf < 34; ++leaf) b.add_edge(0, leaf);
+  for (graph::VertexIndex leaf = 2; leaf < 18; ++leaf) b.add_edge(1, leaf);
+  b.add_edge(0, 1);
+  const auto g = std::move(b).build_identity_ids();
+
+  const double alpha = 4.0;
+  const auto heavy = run_sample(g, 0, alpha, Params::practical(), 5);
+  // Ground truth per Definition 2 with Γ = N+(0) = V:
+  for (const auto id : heavy) {
+    const auto u = g.index_of(id);
+    const std::size_t weight = g.degree(u) + 1;  // |Γ ∩ N+(u)|, Γ = V
+    EXPECT_GE(weight, static_cast<std::size_t>(alpha))
+        << "vertex " << id << " reported heavy but is alpha-light";
+  }
+}
+
+TEST(Sample, VisitBudgetMatchesFormula) {
+  std::vector<graph::VertexId> gamma(100);
+  for (std::size_t i = 0; i < gamma.size(); ++i) gamma[i] = i;
+  const auto params = Params::practical();
+  SampleRun run(gamma, 5.0, 1000, params);
+  EXPECT_EQ(run.visits_planned(), params.sample_visits(100, 5.0, 1000));
+  Rng rng(3);
+  std::uint64_t count = 0;
+  while (run.next_target(rng)) ++count;
+  EXPECT_EQ(count, run.visits_planned());
+  EXPECT_TRUE(run.exhausted());
+}
+
+TEST(Sample, EmptyGammaIsImmediatelyExhausted) {
+  SampleRun run({}, 5.0, 1000, Params::practical());
+  Rng rng(3);
+  EXPECT_FALSE(run.next_target(rng).has_value());
+  EXPECT_TRUE(run.exhausted());
+}
+
+}  // namespace
+}  // namespace fnr::core

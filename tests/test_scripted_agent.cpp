@@ -1,0 +1,137 @@
+// Unit tests for ScriptedAgent: plan execution, write+move rounds,
+// wait-until semantics, and on_idle re-entry.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/scripted_agent.hpp"
+
+namespace fnr::sim {
+namespace {
+
+class StillAgent final : public Agent {
+ public:
+  Action step(const View&) override { return Action::stay(); }
+};
+
+/// Walks a triangle once using a planned route, then idles.
+class TriangleWalker final : public ScriptedAgent {
+ public:
+  std::vector<graph::VertexId> idle_positions;
+
+ protected:
+  void on_idle(const View& view) override {
+    idle_positions.push_back(view.here());
+    if (!planned_) {
+      planned_ = true;
+      plan_route({1, 2, 0});
+    }
+  }
+
+ private:
+  bool planned_ = false;
+};
+
+TEST(ScriptedAgent, ExecutesRouteHopByHop) {
+  const auto g = graph::make_complete(4);
+  Scheduler scheduler(g, Model::full());
+  TriangleWalker a;
+  StillAgent b;
+  (void)scheduler.run(a, b, Placement{0, 3}, 6);
+  // on_idle at start (vertex 0), then after the 3-hop route back at 0.
+  ASSERT_GE(a.idle_positions.size(), 2u);
+  EXPECT_EQ(a.idle_positions[0], 0u);
+  EXPECT_EQ(a.idle_positions[1], 0u);
+}
+
+/// Writes while moving in a single round.
+class WriteAndGo final : public ScriptedAgent {
+ protected:
+  void on_idle(const View& view) override {
+    if (view.round() == 0) plan_write_and_move(99, 1);
+  }
+};
+
+TEST(ScriptedAgent, WritePlusMoveInOneRound) {
+  const auto g = graph::make_path(3);
+  Scheduler scheduler(g, Model::full());
+  WriteAndGo a;
+  StillAgent b;
+  const auto result = scheduler.run(a, b, Placement{0, 2}, 2);
+  EXPECT_EQ(result.metrics.whiteboard_writes, 1u);
+  EXPECT_EQ(result.metrics.moves[0], 1u);
+}
+
+/// Waits until an absolute round then moves.
+class WaitUntilAgent final : public ScriptedAgent {
+ public:
+  std::uint64_t moved_at = 0;
+
+ protected:
+  void on_idle(const View& view) override {
+    if (view.round() == 0) {
+      plan_wait_until(5);
+      plan_move(1);
+    } else if (moved_at == 0) {
+      moved_at = view.round();  // first idle after the move
+    }
+  }
+};
+
+TEST(ScriptedAgent, WaitUntilHoldsExactly) {
+  const auto g = graph::make_path(3);
+  Scheduler scheduler(g, Model::full());
+  WaitUntilAgent a;
+  StillAgent b;
+  (void)scheduler.run(a, b, Placement{0, 2}, 10);
+  // Stays rounds 0..4, moves at round 5, idles (at vertex 1) at round 6.
+  EXPECT_EQ(a.moved_at, 6u);
+}
+
+TEST(ScriptedAgent, WaitUntilInThePastIsOneRound) {
+  const auto g = graph::make_path(3);
+
+  class PastWait final : public ScriptedAgent {
+   public:
+    std::uint64_t idles = 0;
+
+   protected:
+    void on_idle(const View& view) override {
+      ++idles;
+      if (view.round() == 0) plan_wait_until(0);  // already reached
+    }
+  };
+  Scheduler scheduler(g, Model::full());
+  PastWait a;
+  StillAgent b;
+  (void)scheduler.run(a, b, Placement{0, 2}, 3);
+  // Round 0 consumes the no-op wait; rounds 1, 2 idle again.
+  EXPECT_EQ(a.idles, 3u);
+}
+
+/// plan_wait produces exactly k stationary rounds.
+class CountedWaiter final : public ScriptedAgent {
+ public:
+  std::vector<std::uint64_t> idle_rounds;
+
+ protected:
+  void on_idle(const View& view) override {
+    idle_rounds.push_back(view.round());
+    if (view.round() == 0) plan_wait(3);
+  }
+};
+
+TEST(ScriptedAgent, PlanWaitCounts) {
+  const auto g = graph::make_path(3);
+  Scheduler scheduler(g, Model::full());
+  CountedWaiter a;
+  StillAgent b;
+  (void)scheduler.run(a, b, Placement{0, 2}, 6);
+  // idle at round 0 (plans 3 waits covering rounds 0,1,2), idle again at 3+.
+  ASSERT_GE(a.idle_rounds.size(), 2u);
+  EXPECT_EQ(a.idle_rounds[0], 0u);
+  EXPECT_EQ(a.idle_rounds[1], 3u);
+}
+
+}  // namespace
+}  // namespace fnr::sim

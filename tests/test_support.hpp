@@ -1,0 +1,53 @@
+// Shared fixtures and helpers for the test suite.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/rendezvous.hpp"
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+#include "graph/id_space.hpp"
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace fnr::test {
+
+/// A dense near-regular graph satisfying Theorem 1's δ ≥ √n comfortably.
+inline graph::Graph dense_graph(std::size_t n, std::uint64_t seed,
+                                std::size_t out_degree = 0) {
+  Rng rng(seed, /*stream=*/17);
+  if (out_degree == 0) {
+    // δ ≈ n^0.75: safely ω(√n log n) at test sizes.
+    out_degree = static_cast<std::size_t>(std::pow(double(n), 0.75));
+  }
+  return graph::make_near_regular(n, out_degree, rng);
+}
+
+/// Runs the given strategy on a random adjacent placement and returns the
+/// report.
+inline core::RendezvousReport quick_run(const graph::Graph& g,
+                                        core::Strategy strategy,
+                                        std::uint64_t seed,
+                                        core::Params params =
+                                            core::Params::practical()) {
+  Rng rng(seed, 3);
+  const auto placement = sim::random_adjacent_placement(g, rng);
+  core::RendezvousOptions options;
+  options.strategy = strategy;
+  options.params = params;
+  options.seed = seed;
+  return core::run_rendezvous(g, placement, options);
+}
+
+/// Converts T^a (IDs) to vertex indices for ground-truth verification.
+inline std::vector<graph::VertexIndex> to_indices(
+    const graph::Graph& g, const std::vector<graph::VertexId>& ids) {
+  std::vector<graph::VertexIndex> out;
+  out.reserve(ids.size());
+  for (const auto id : ids) out.push_back(g.index_of(id));
+  return out;
+}
+
+}  // namespace fnr::test
