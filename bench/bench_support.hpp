@@ -1,15 +1,22 @@
 // Shared plumbing for the experiment binaries.
+//
+// Every experiment's trial loop routes through runner::TrialRunner: trials
+// run across a thread pool (--threads=N, default: all hardware threads) with
+// per-trial split RNG streams, so the tables are bit-identical no matter how
+// many threads executed the batch.
 #pragma once
 
 #include <cmath>
 #include <iostream>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "core/rendezvous.hpp"
 #include "graph/analysis.hpp"
 #include "graph/generators.hpp"
 #include "graph/id_space.hpp"
+#include "runner/trial_runner.hpp"
 #include "sim/scheduler.hpp"
 #include "util/cli.hpp"
 #include "util/stats.hpp"
@@ -22,6 +29,9 @@ struct BenchConfig {
   std::uint64_t reps = 5;
   bool quick = false;
   bool full = false;
+  unsigned threads = 0;  ///< trial-runner pool size; 0 → hardware threads
+  bool csv = false;      ///< also emit per-cell aggregate CSV rows
+  bool json = false;     ///< also emit per-cell aggregate JSON lines
 
   [[nodiscard]] static BenchConfig from_cli(int argc, const char* const* argv) {
     Cli cli(argc, argv);
@@ -29,8 +39,20 @@ struct BenchConfig {
     config.reps = static_cast<std::uint64_t>(cli.get_int("reps", 5));
     config.quick = cli.get_flag("quick");
     config.full = cli.get_flag("full");
+    const auto threads = cli.get_int("threads", 0);
+    FNR_CHECK_MSG(threads >= 0 && threads <= 4096,
+                  "--threads must be in [0, 4096], got " << threads);
+    config.threads = static_cast<unsigned>(threads);
+    config.csv = cli.get_flag("csv");
+    config.json = cli.get_flag("json");
     cli.reject_unknown();
     return config;
+  }
+
+  [[nodiscard]] runner::TrialRunner trial_runner() const {
+    runner::RunnerOptions options;
+    options.threads = threads;
+    return runner::TrialRunner(options);
   }
 
   /// Scales a default sweep according to quick/full.
@@ -66,30 +88,106 @@ inline core::RendezvousReport run_once(const graph::Graph& g,
   return core::run_rendezvous(g, placement, options);
 }
 
-/// Repeats a run and summarizes the meeting rounds of successful runs.
+/// Summary of one experimental cell's repeated trials.
 struct RepeatedOutcome {
-  Summary rounds;
+  Summary rounds;  ///< meeting rounds of successful trials
   std::uint64_t failures = 0;
+  runner::TrialAggregate aggregate;  ///< full batch statistics
 };
 
-template <typename RunFn>
-RepeatedOutcome repeat(std::uint64_t reps, RunFn&& run) {
-  RepeatedOutcome outcome;
-  std::vector<double> rounds;
-  for (std::uint64_t rep = 0; rep < reps; ++rep) {
-    const sim::RunResult result = run(rep + 1);
-    if (result.met) {
-      rounds.push_back(static_cast<double>(result.meeting_round));
-    } else {
-      ++outcome.failures;
-    }
+/// Lifts a per-trial result (RunResult, RendezvousReport, or TrialOutcome)
+/// into a TrialOutcome for aggregation.
+template <typename R>
+[[nodiscard]] runner::TrialOutcome to_outcome(std::uint64_t trial,
+                                              std::uint64_t seed,
+                                              const R& result) {
+  if constexpr (std::is_same_v<R, runner::TrialOutcome>) {
+    return result;
+  } else if constexpr (std::is_same_v<R, core::RendezvousReport>) {
+    return runner::TrialOutcome::from_run(trial, seed, result.run,
+                                          result.agent_b_marks);
+  } else {
+    static_assert(std::is_same_v<R, sim::RunResult>,
+                  "repeat()/collect() expect RunResult, RendezvousReport, or "
+                  "TrialOutcome");
+    return runner::TrialOutcome::from_run(trial, seed, result);
   }
-  outcome.rounds = summarize(rounds);
+}
+
+/// Aggregates per-trial results already produced by TrialRunner::run_map
+/// (trial order; seeds recomputed from base_seed for the record).
+template <typename R>
+[[nodiscard]] RepeatedOutcome collect(const std::vector<R>& results,
+                                      std::uint64_t base_seed) {
+  runner::TrialAccumulator acc;
+  for (std::size_t trial = 0; trial < results.size(); ++trial) {
+    acc.add(to_outcome(trial, runner::trial_seed(base_seed, trial),
+                       results[trial]));
+  }
+  RepeatedOutcome outcome;
+  outcome.aggregate = acc.aggregate();
+  outcome.rounds = outcome.aggregate.rounds;
+  outcome.failures = outcome.aggregate.failures;
+  return outcome;
+}
+
+/// Runs `reps` independent trials of `run(trial, seed)` through the parallel
+/// trial runner and summarizes the meeting rounds of successful runs.
+/// `run` may return sim::RunResult, core::RendezvousReport, or
+/// runner::TrialOutcome, and MUST NOT touch shared mutable state (trials run
+/// concurrently); derive all randomness from the provided split seed.
+template <typename RunFn>
+RepeatedOutcome repeat(const runner::TrialRunner& trial_runner,
+                       std::uint64_t reps, std::uint64_t base_seed,
+                       RunFn&& run) {
+  const auto acc = trial_runner.run(
+      reps, base_seed, [&](std::uint64_t trial, std::uint64_t seed) {
+        return to_outcome(trial, seed, run(trial, seed));
+      });
+  RepeatedOutcome outcome;
+  outcome.aggregate = acc.aggregate();
+  outcome.rounds = outcome.aggregate.rounds;
+  outcome.failures = outcome.aggregate.failures;
   return outcome;
 }
 
 inline void print_header(const std::string& title, const std::string& claim) {
   std::cout << "## " << title << "\n\n" << claim << "\n\n";
+}
+
+/// One line documenting the trial-runner pool; benches print it so runs
+/// record how they were parallelized.
+inline void print_runner_info(const runner::TrialRunner& trial_runner) {
+  std::cout << "(trial runner: " << trial_runner.threads() << " thread"
+            << (trial_runner.threads() == 1 ? "" : "s") << ")\n\n";
+}
+
+/// For benches whose cells are not rendezvous trial batches (construct
+/// probes, deterministic adversary rows): tell the user instead of silently
+/// ignoring the emission flags.
+inline void note_no_aggregates(const BenchConfig& config) {
+  if (config.csv || config.json) {
+    std::cout << "(--csv/--json: this bench has no rendezvous trial "
+                 "aggregates; flags ignored)\n\n";
+  }
+}
+
+/// Emits the per-cell aggregate in the machine-readable formats the config
+/// asked for (CSV rows share one header per process).
+inline void emit_aggregate(const BenchConfig& config, const std::string& label,
+                           const runner::TrialAggregate& aggregate) {
+  if (config.csv) {
+    static bool header_printed = false;
+    if (!header_printed) {
+      std::cout << runner::TrialAggregate::csv_header() << "\n";
+      header_printed = true;
+    }
+    std::cout << aggregate.to_csv_row(label) << "\n";
+  }
+  if (config.json) {
+    std::cout << "{\"cell\":\"" << label
+              << "\",\"aggregate\":" << aggregate.to_json() << "}\n";
+  }
 }
 
 inline void print_fit(const char* label, const std::vector<double>& xs,

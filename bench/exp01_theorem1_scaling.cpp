@@ -31,11 +31,13 @@ std::uint64_t sweep_rounds(const graph::Graph& g, std::uint64_t seed) {
 
 int main(int argc, char** argv) {
   const auto config = bench::BenchConfig::from_cli(argc, argv);
+  const auto runner = config.trial_runner();
   bench::print_header(
       "E1 — Theorem 1: whiteboard rendezvous scaling (near-regular, "
       "delta ~ n^0.78)",
       "Expected shape: median rounds track C*[(n/d)ln^2 n + (sqrt(nD)/d)ln n]"
       " with a stable constant C; both baselines grow strictly faster.");
+  bench::print_runner_info(runner);
 
   Table table({"n", "delta", "Delta", "rounds(med)", "met in construct",
                "bound", "rounds/bound", "sweep O(D)", "explore O(n)",
@@ -46,14 +48,21 @@ int main(int argc, char** argv) {
     const auto g = bench::dense_family(n, 0.78, 1000 + n);
     // Agents frequently collide while a is still constructing T^a (their
     // two-hop balls overlap); the paper counts any co-location as
-    // rendezvous, so we report how often the run ended that early.
+    // rendezvous, so we report how often the run ended that early. The
+    // per-trial reports come back in trial order, so the count is
+    // deterministic regardless of thread count.
+    const std::uint64_t base_seed = 1000 + n;
+    const auto reports = runner.run_map(
+        config.reps, base_seed, [&](std::uint64_t, std::uint64_t seed) {
+          return bench::run_once(g, core::Strategy::Whiteboard, seed);
+        });
     std::uint64_t met_in_construct = 0;
-    const auto outcome = bench::repeat(config.reps, [&](std::uint64_t rep) {
-      const auto report =
-          bench::run_once(g, core::Strategy::Whiteboard, rep * 77 + n);
+    for (const auto& report : reports) {
       met_in_construct += report.run.met && report.agent_a.t_set_size == 0;
-      return report.run;
-    });
+    }
+    const auto outcome = bench::collect(reports, base_seed);
+    bench::emit_aggregate(config, "e1_n" + std::to_string(n),
+                          outcome.aggregate);
     const double bound = core::theorem1_bound(
         g.num_vertices(), static_cast<double>(g.min_degree()),
         static_cast<double>(g.max_degree()));

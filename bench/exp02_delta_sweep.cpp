@@ -19,6 +19,7 @@ using namespace fnr;
 
 int main(int argc, char** argv) {
   const auto config = bench::BenchConfig::from_cli(argc, argv);
+  const auto runner = config.trial_runner();
   const std::size_t n = config.quick ? 2048 : 4096;
   bench::print_header(
       "E2 — delta sweep at fixed n = " + std::to_string(n) +
@@ -27,6 +28,7 @@ int main(int argc, char** argv) {
       "sweep stays pinned near 2*Delta; the crossover appears once delta is "
       "well above sqrt(n) = " +
           format_double(std::sqrt(static_cast<double>(n)), 0) + ".");
+  bench::print_runner_info(runner);
 
   Table table({"delta", "Delta", "rounds(med)", "bound", "sweep(worst)",
                "algo wins", "fail"});
@@ -42,13 +44,16 @@ int main(int argc, char** argv) {
 
     // Meeting times on hub-to-hub placements have heavy variance (the
     // protocol path races an accidental-collision path); use extra reps.
-    const auto outcome =
-        bench::repeat(3 * config.reps, [&](std::uint64_t rep) {
+    const auto outcome = bench::repeat(
+        runner, 3 * config.reps, base,
+        [&](std::uint64_t, std::uint64_t seed) {
           core::RendezvousOptions options;
           options.strategy = core::Strategy::Whiteboard;
-          options.seed = rep * 31 + base;
+          options.seed = seed;
           return core::run_rendezvous(g, placement, options).run;
         });
+    bench::emit_aggregate(config, "e2_delta" + std::to_string(g.min_degree()),
+                          outcome.aggregate);
 
     // Sweep worst case from a hub: b sits behind the last port. Measured
     // with b parked on the highest-index neighbor of hub1 (= hub2's slot).

@@ -62,39 +62,60 @@ class ConstructProbe final : public sim::ScriptedAgent {
 
 int main(int argc, char** argv) {
   const auto config = bench::BenchConfig::from_cli(argc, argv);
+  const auto runner = config.trial_runner();
   bench::print_header(
       "E3 — Construct cost (Lemmas 6-8) on near-regular graphs, "
       "delta ~ n^0.78",
       "Expected shape: iterations <= 2n/delta, strict runs = O(log n), "
       "rounds <= the deterministic budget t' both Algorithm-4 agents "
       "synchronize on; the dense condition holds in every run.");
+  bench::print_runner_info(runner);
+  bench::note_no_aggregates(config);
 
   Table table({"n", "delta", "iters(med)", "2n/delta", "strict(med)",
                "log2 n", "rounds(med)", "budget t'", "|T^a|(med)",
                "dense ok"});
 
+  struct Trial {
+    bool halted = false;
+    bool dense = false;
+    double iters = 0, strict = 0, rounds = 0, t_size = 0;
+  };
+
   const auto params = core::Params::practical();
   for (const auto n : config.sizes({256, 512, 1024, 2048, 4096})) {
     const auto g = bench::dense_family(n, 0.78, 300 + n);
     const double delta = static_cast<double>(g.min_degree());
+    const auto trials = runner.run_map(
+        config.reps, 300 + n, [&](std::uint64_t, std::uint64_t seed) {
+          Trial trial;
+          sim::Scheduler scheduler(g, sim::Model::full());
+          ConstructProbe probe(params, delta, Rng(seed));
+          const auto result = scheduler.run_single(
+              probe, 0, params.construct_round_budget(n, delta) * 4);
+          if (!probe.halted()) return trial;
+          trial.halted = true;
+          trial.iters = static_cast<double>(probe.stats.iterations);
+          trial.strict = static_cast<double>(probe.stats.strict_runs);
+          trial.rounds = static_cast<double>(result.metrics.rounds);
+          trial.t_size = static_cast<double>(probe.t_set.size());
+          std::vector<graph::VertexIndex> t_idx;
+          for (const auto id : probe.t_set) t_idx.push_back(g.index_of(id));
+          trial.dense = graph::is_dense_set(g, 0, t_idx, delta / 8.0, 2);
+          return trial;
+        });
     std::vector<double> iters, strict, rounds, t_sizes;
     bool dense_ok = true;
-    for (std::uint64_t rep = 1; rep <= config.reps; ++rep) {
-      sim::Scheduler scheduler(g, sim::Model::full());
-      ConstructProbe probe(params, delta, Rng(rep * 13 + n));
-      const auto result = scheduler.run_single(
-          probe, 0, params.construct_round_budget(n, delta) * 4);
-      if (!probe.halted()) {
+    for (const auto& trial : trials) {
+      if (!trial.halted) {
         dense_ok = false;
         continue;
       }
-      iters.push_back(static_cast<double>(probe.stats.iterations));
-      strict.push_back(static_cast<double>(probe.stats.strict_runs));
-      rounds.push_back(static_cast<double>(result.metrics.rounds));
-      t_sizes.push_back(static_cast<double>(probe.t_set.size()));
-      std::vector<graph::VertexIndex> t_idx;
-      for (const auto id : probe.t_set) t_idx.push_back(g.index_of(id));
-      dense_ok = dense_ok && graph::is_dense_set(g, 0, t_idx, delta / 8.0, 2);
+      iters.push_back(trial.iters);
+      strict.push_back(trial.strict);
+      rounds.push_back(trial.rounds);
+      t_sizes.push_back(trial.t_size);
+      dense_ok = dense_ok && trial.dense;
     }
     table.add_row(RowBuilder()
                       .add(std::uint64_t{n})

@@ -19,26 +19,29 @@ struct Cell {
   Summary rounds;
   std::uint64_t failures = 0;
   double restarts_med = 0.0;
+  runner::TrialAggregate aggregate;
 };
 
-Cell run_cell(const graph::Graph& g, sim::Placement placement,
-              core::Strategy strategy, std::uint64_t reps) {
-  std::vector<double> rounds, restarts;
+Cell run_cell(const runner::TrialRunner& runner, const graph::Graph& g,
+              sim::Placement placement, core::Strategy strategy,
+              std::uint64_t base_seed, std::uint64_t reps) {
+  const auto reports = runner.run_map(
+      reps, base_seed, [&](std::uint64_t, std::uint64_t seed) {
+        core::RendezvousOptions options;
+        options.strategy = strategy;
+        options.seed = seed;
+        return core::run_rendezvous(g, placement, options);
+      });
   Cell cell;
-  for (std::uint64_t rep = 1; rep <= reps; ++rep) {
-    core::RendezvousOptions options;
-    options.strategy = strategy;
-    options.seed = rep * 7 + 1;
-    const auto report = core::run_rendezvous(g, placement, options);
-    if (!report.run.met) {
-      ++cell.failures;
-      continue;
-    }
-    rounds.push_back(static_cast<double>(report.run.meeting_round));
+  cell.aggregate = bench::collect(reports, base_seed).aggregate;
+  cell.rounds = cell.aggregate.rounds;
+  cell.failures = cell.aggregate.failures;
+  std::vector<double> restarts;
+  for (const auto& report : reports) {
+    if (!report.run.met) continue;
     restarts.push_back(
         static_cast<double>(report.agent_a.doubling_restarts));
   }
-  cell.rounds = summarize(rounds);
   cell.restarts_med = summarize(restarts).median;
   return cell;
 }
@@ -47,11 +50,13 @@ Cell run_cell(const graph::Graph& g, sim::Placement placement,
 
 int main(int argc, char** argv) {
   const auto config = bench::BenchConfig::from_cli(argc, argv);
+  const auto runner = config.trial_runner();
   bench::print_header(
       "E4 — Corollary 2: known delta vs doubling estimation",
       "Expected shape: the doubling column stays within a small constant "
       "factor of the known-delta column; restarts ~ log2(deg(v0_a)/delta) "
       "on hub starts and ~0 on near-regular starts.");
+  bench::print_runner_info(runner);
 
   Table table({"family", "n", "delta", "known(med)", "doubling(med)",
                "ratio", "restarts(med)", "fail"});
@@ -62,10 +67,17 @@ int main(int argc, char** argv) {
       const auto g = bench::dense_family(n, 0.78, 500 + n);
       Rng rng(n, 3);
       const auto placement = sim::random_adjacent_placement(g, rng);
-      const auto known =
-          run_cell(g, placement, core::Strategy::Whiteboard, config.reps);
-      const auto doubling = run_cell(
-          g, placement, core::Strategy::WhiteboardDoubling, config.reps);
+      const auto known = run_cell(runner, g, placement,
+                                  core::Strategy::Whiteboard, 500 + n,
+                                  config.reps);
+      const auto doubling = run_cell(runner, g, placement,
+                                     core::Strategy::WhiteboardDoubling,
+                                     500 + n, config.reps);
+      bench::emit_aggregate(config, "e4_regular_known_n" + std::to_string(n),
+                            known.aggregate);
+      bench::emit_aggregate(config,
+                            "e4_regular_doubling_n" + std::to_string(n),
+                            doubling.aggregate);
       table.add_row(
           RowBuilder()
               .add("near-regular")
@@ -88,10 +100,16 @@ int main(int argc, char** argv) {
       const sim::Placement placement{
           static_cast<graph::VertexIndex>(n - 2),
           static_cast<graph::VertexIndex>(n - 1)};
-      const auto known =
-          run_cell(g, placement, core::Strategy::Whiteboard, config.reps);
-      const auto doubling = run_cell(
-          g, placement, core::Strategy::WhiteboardDoubling, config.reps);
+      const auto known = run_cell(runner, g, placement,
+                                  core::Strategy::Whiteboard, 900 + n,
+                                  config.reps);
+      const auto doubling = run_cell(runner, g, placement,
+                                     core::Strategy::WhiteboardDoubling,
+                                     900 + n, config.reps);
+      bench::emit_aggregate(config, "e4_hub_known_n" + std::to_string(n),
+                            known.aggregate);
+      bench::emit_aggregate(config, "e4_hub_doubling_n" + std::to_string(n),
+                            doubling.aggregate);
       table.add_row(
           RowBuilder()
               .add("hub-start")

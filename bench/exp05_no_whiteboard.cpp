@@ -38,6 +38,7 @@ core::NoWbOracle make_oracle(const graph::Graph& g,
 
 int main(int argc, char** argv) {
   const auto config = bench::BenchConfig::from_cli(argc, argv);
+  const auto runner = config.trial_runner();
   bench::print_header(
       "E5 — Theorem 2: whiteboard-free rendezvous (tight naming, "
       "delta ~ n^0.8)",
@@ -45,6 +46,7 @@ int main(int argc, char** argv) {
       "C*(n/sqrt(delta))*ln^2 n (fitted exponent matching the bound's); "
       "end-to-end runs finish even earlier (collisions during Construct); "
       "zero whiteboard traffic everywhere.");
+  bench::print_runner_info(runner);
 
   const auto params = core::Params::practical();
 
@@ -57,16 +59,20 @@ int main(int argc, char** argv) {
       const double delta = static_cast<double>(g.min_degree());
       const auto schedule =
           core::NoWbSchedule::make(n, g.id_bound(), delta, params);
-      std::uint64_t before_t = 0, wb_writes = 0;
-      const auto end_to_end =
-          bench::repeat(config.reps, [&](std::uint64_t rep) {
-            const auto report = bench::run_once(
-                g, core::Strategy::NoWhiteboard, rep * 11 + 2);
-            before_t += report.run.met &&
-                        report.run.meeting_round < schedule.t_start;
-            wb_writes += report.run.metrics.whiteboard_writes;
-            return report.run;
+      const std::uint64_t base_seed = 700 + n;
+      const auto reports = runner.run_map(
+          config.reps, base_seed, [&](std::uint64_t, std::uint64_t seed) {
+            return bench::run_once(g, core::Strategy::NoWhiteboard, seed);
           });
+      std::uint64_t before_t = 0, wb_writes = 0;
+      for (const auto& report : reports) {
+        before_t += report.run.met &&
+                    report.run.meeting_round < schedule.t_start;
+        wb_writes += report.run.metrics.whiteboard_writes;
+      }
+      const auto end_to_end = bench::collect(reports, base_seed);
+      bench::emit_aggregate(config, "e5_end_to_end_n" + std::to_string(n),
+                            end_to_end.aggregate);
       table.add_row(RowBuilder()
                         .add(std::uint64_t{n})
                         .add(delta, 0)
@@ -98,20 +104,26 @@ int main(int argc, char** argv) {
       // The meeting lands in the first ID-block holding a common Φ vertex —
       // a geometric-ish position with large variance; extra reps steady the
       // median.
-      const auto phase_sched =
-          bench::repeat(6 * config.reps, [&](std::uint64_t rep) {
-            Rng prng(rep * 5 + n, 3);
+      const auto phase_sched = bench::repeat(
+          runner, 6 * config.reps, 1700 + n,
+          [&](std::uint64_t, std::uint64_t seed) {
+            Rng prng(seed, 3);
             const auto placement = sim::random_adjacent_placement(g, prng);
-            Rng seed(rep * 17 + n);
+            Rng agent_seed(seed);
             core::NoWhiteboardAgentA agent_a(
-                params, delta, seed.split(),
+                params, delta, agent_seed.split(),
                 make_oracle(g, placement.a_start));
-            core::NoWhiteboardAgentB agent_b(params, delta, seed.split(),
+            core::NoWhiteboardAgentB agent_b(params, delta,
+                                             agent_seed.split(),
                                              /*synchronized_start=*/false);
             sim::Scheduler scheduler(g, sim::Model::no_whiteboards());
             return scheduler.run(agent_a, agent_b, placement,
                                  4 * schedule.total_rounds() + 1024);
           });
+      bench::emit_aggregate(config,
+                            "e5_phase_sched_n" + std::to_string(n) + "_d" +
+                                std::to_string(g.min_degree()),
+                            phase_sched.aggregate);
       const double bound = core::theorem2_bound(n, delta);
       table.add_row(RowBuilder()
                         .add(std::uint64_t{n})

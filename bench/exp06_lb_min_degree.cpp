@@ -41,10 +41,12 @@ PermutedInstance permuted_double_star(std::size_t leaves,
 
 int main(int argc, char** argv) {
   const auto config = bench::BenchConfig::from_cli(argc, argv);
+  const auto runner = config.trial_runner();
   bench::print_header(
       "E6 — Theorem 3 / Figure 1: glued stars (delta = 1, Delta = n/2 + 1)",
       "Expected shape: every algorithm family needs Omega(Delta) = Omega(n) "
       "rounds — fitted exponents ~1 across the board.");
+  bench::print_runner_info(runner);
 
   Table table({"n", "Delta", "core algo(med)", "explore(med)", "sweep(med)",
                "random walk(med)", "fail"});
@@ -53,43 +55,57 @@ int main(int argc, char** argv) {
   for (const auto leaves : config.sizes({128, 256, 512, 1024, 2048})) {
     // Meeting times here are heavy-tailed; use extra reps.
     const std::uint64_t reps = 5 * config.reps;
-    std::size_t n_vertices = 0, max_degree = 0;
+    // Permutation preserves n and the degree sequence; read the metadata
+    // off one reference instance rather than from inside the trial lambdas
+    // (which run concurrently).
+    const auto reference = permuted_double_star(leaves, 0);
+    const std::size_t n_vertices = reference.graph.num_vertices();
+    const std::size_t max_degree = reference.graph.max_degree();
 
-    const auto core_out = bench::repeat(reps, [&](std::uint64_t rep) {
-      const auto inst = permuted_double_star(leaves, rep);
-      n_vertices = inst.graph.num_vertices();
-      max_degree = inst.graph.max_degree();
-      core::RendezvousOptions options;
-      options.strategy = core::Strategy::Whiteboard;
-      options.seed = rep * 17 + leaves;
-      options.max_rounds = 500 * inst.graph.num_vertices();
-      return core::run_rendezvous(inst.graph, inst.placement, options).run;
-    });
-    const auto explore_out = bench::repeat(reps, [&](std::uint64_t rep) {
-      const auto inst = permuted_double_star(leaves, rep);
-      sim::Scheduler scheduler(inst.graph, sim::Model::full());
-      baselines::ExploreAgent a;
-      baselines::WaitingAgent b;
-      return scheduler.run(a, b, inst.placement,
-                           500 * inst.graph.num_vertices());
-    });
-    const auto sweep_out = bench::repeat(reps, [&](std::uint64_t rep) {
-      const auto inst = permuted_double_star(leaves, rep);
-      sim::Scheduler scheduler(inst.graph, sim::Model::full());
-      baselines::SweepAgent a;
-      baselines::WaitingAgent b;
-      return scheduler.run(a, b, inst.placement,
-                           500 * inst.graph.num_vertices());
-    });
-    const auto walk_out = bench::repeat(reps, [&](std::uint64_t rep) {
-      const auto inst = permuted_double_star(leaves, rep);
-      sim::Scheduler scheduler(inst.graph, sim::Model::full());
-      baselines::RandomWalkAgent a(Rng(rep, 1));
-      baselines::RandomWalkAgent b(Rng(rep, 2));
-      return scheduler.run(a, b, inst.placement,
-                           500 * inst.graph.num_vertices());
-    });
+    const auto core_out = bench::repeat(
+        runner, reps, 170 + leaves, [&](std::uint64_t, std::uint64_t seed) {
+          const auto inst = permuted_double_star(leaves, seed);
+          core::RendezvousOptions options;
+          options.strategy = core::Strategy::Whiteboard;
+          options.seed = seed;
+          options.max_rounds = 500 * inst.graph.num_vertices();
+          return core::run_rendezvous(inst.graph, inst.placement, options)
+              .run;
+        });
+    const auto explore_out = bench::repeat(
+        runner, reps, 270 + leaves, [&](std::uint64_t, std::uint64_t seed) {
+          const auto inst = permuted_double_star(leaves, seed);
+          sim::Scheduler scheduler(inst.graph, sim::Model::full());
+          baselines::ExploreAgent a;
+          baselines::WaitingAgent b;
+          return scheduler.run(a, b, inst.placement,
+                               500 * inst.graph.num_vertices());
+        });
+    const auto sweep_out = bench::repeat(
+        runner, reps, 370 + leaves, [&](std::uint64_t, std::uint64_t seed) {
+          const auto inst = permuted_double_star(leaves, seed);
+          sim::Scheduler scheduler(inst.graph, sim::Model::full());
+          baselines::SweepAgent a;
+          baselines::WaitingAgent b;
+          return scheduler.run(a, b, inst.placement,
+                               500 * inst.graph.num_vertices());
+        });
+    const auto walk_out = bench::repeat(
+        runner, reps, 470 + leaves, [&](std::uint64_t, std::uint64_t seed) {
+          const auto inst = permuted_double_star(leaves, seed);
+          sim::Scheduler scheduler(inst.graph, sim::Model::full());
+          Rng walk_rng(seed);
+          baselines::RandomWalkAgent a(walk_rng.split());
+          baselines::RandomWalkAgent b(walk_rng.split());
+          return scheduler.run(a, b, inst.placement,
+                               500 * inst.graph.num_vertices());
+        });
 
+    const std::string cell = "_n" + std::to_string(n_vertices);
+    bench::emit_aggregate(config, "e6_core" + cell, core_out.aggregate);
+    bench::emit_aggregate(config, "e6_explore" + cell, explore_out.aggregate);
+    bench::emit_aggregate(config, "e6_sweep" + cell, sweep_out.aggregate);
+    bench::emit_aggregate(config, "e6_walk" + cell, walk_out.aggregate);
     table.add_row(RowBuilder()
                       .add(std::uint64_t{n_vertices})
                       .add(std::uint64_t{max_degree})

@@ -17,11 +17,13 @@ using namespace fnr;
 
 int main(int argc, char** argv) {
   const auto config = bench::BenchConfig::from_cli(argc, argv);
+  const auto runner = config.trial_runner();
   bench::print_header(
       "E7 — Theorem 4 / Figure 2: bridged cliques, neighborhood IDs hidden",
       "Expected shape: port-only algorithms (sweep, random walk) pay "
       "Omega(n); the identical topology with KT1 restored is solved by "
       "Theorem 1's algorithm in polylog-growing rounds (exponent << 1).");
+  bench::print_runner_info(runner);
 
   Table table({"n", "delta=Delta", "sweep port-only(med)",
                "walk port-only(med)", "core with KT1(med)", "walk fail"});
@@ -32,26 +34,37 @@ int main(int argc, char** argv) {
     const auto& g = inst.graph;
     const std::uint64_t cap = 200 * g.num_vertices();
 
-    const auto sweep_out = bench::repeat(config.reps, [&](std::uint64_t rep) {
-      (void)rep;
-      sim::Scheduler scheduler(g, inst.model);  // port-only
-      baselines::SweepAgent a;
-      baselines::WaitingAgent b;
-      return scheduler.run(a, b, inst.placement, cap);
-    });
-    const auto walk_out = bench::repeat(config.reps, [&](std::uint64_t rep) {
-      sim::Scheduler scheduler(g, inst.model);
-      baselines::RandomWalkAgent a(Rng(rep, 1));
-      baselines::RandomWalkAgent b(Rng(rep, 2));
-      return scheduler.run(a, b, inst.placement, cap);
-    });
-    const auto core_out = bench::repeat(config.reps, [&](std::uint64_t rep) {
-      core::RendezvousOptions options;
-      options.strategy = core::Strategy::Whiteboard;  // full model (KT1)
-      options.seed = rep * 13 + half;
-      return core::run_rendezvous(g, inst.placement, options).run;
-    });
+    // Sweep vs a waiting partner on a fixed placement is deterministic —
+    // one trial carries all the information.
+    const auto sweep_out = bench::repeat(
+        runner, 1, 100 + half, [&](std::uint64_t, std::uint64_t) {
+          sim::Scheduler scheduler(g, inst.model);  // port-only
+          baselines::SweepAgent a;
+          baselines::WaitingAgent b;
+          return scheduler.run(a, b, inst.placement, cap);
+        });
+    const auto walk_out = bench::repeat(
+        runner, config.reps, 200 + half,
+        [&](std::uint64_t, std::uint64_t seed) {
+          sim::Scheduler scheduler(g, inst.model);
+          Rng walk_rng(seed);
+          baselines::RandomWalkAgent a(walk_rng.split());
+          baselines::RandomWalkAgent b(walk_rng.split());
+          return scheduler.run(a, b, inst.placement, cap);
+        });
+    const auto core_out = bench::repeat(
+        runner, config.reps, 300 + half,
+        [&](std::uint64_t, std::uint64_t seed) {
+          core::RendezvousOptions options;
+          options.strategy = core::Strategy::Whiteboard;  // full model (KT1)
+          options.seed = seed;
+          return core::run_rendezvous(g, inst.placement, options).run;
+        });
 
+    const std::string cell = "_n" + std::to_string(g.num_vertices());
+    bench::emit_aggregate(config, "e7_sweep" + cell, sweep_out.aggregate);
+    bench::emit_aggregate(config, "e7_walk" + cell, walk_out.aggregate);
+    bench::emit_aggregate(config, "e7_core" + cell, core_out.aggregate);
     // Only the random walks ever hit their cap; report that separately so
     // the protocol columns are unambiguous.
     table.add_row(RowBuilder()

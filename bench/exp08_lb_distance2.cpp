@@ -18,12 +18,14 @@ using namespace fnr;
 
 int main(int argc, char** argv) {
   const auto config = bench::BenchConfig::from_cli(argc, argv);
+  const auto runner = config.trial_runner();
   bench::print_header(
       "E8 — Theorem 5 / Figure 3: shared-vertex cliques, initial distance 2",
       "Expected shape: at distance 2 every family pays Omega(n) (the agents "
       "must discover the unique cut vertex); the distance-1 control on the "
       "same graph is solved fast. The core algorithm refuses distance-2 "
       "inputs (its promise is distance 1) — recorded as 'precondition'.");
+  bench::print_runner_info(runner);
 
   Table table({"n", "Delta", "explore d2(med)", "walk d2(med)",
                "core d2", "core d1 control(med)", "fail"});
@@ -39,20 +41,24 @@ int main(int argc, char** argv) {
     const auto shuffled_graph =
         graph::with_ids(g, graph::shuffled_ids(g.num_vertices(), id_rng));
 
+    // DFS exploration vs a waiting partner on a fixed placement is
+    // deterministic — one trial carries all the information.
     const auto explore_out = bench::repeat(
-        config.reps, [&](std::uint64_t rep) {
-          (void)rep;
+        runner, 1, 100 + half, [&](std::uint64_t, std::uint64_t) {
           sim::Scheduler scheduler(shuffled_graph, inst.model);
           baselines::ExploreAgent a;
           baselines::WaitingAgent b;
           return scheduler.run(a, b, inst.placement, cap);
         });
-    const auto walk_out = bench::repeat(config.reps, [&](std::uint64_t rep) {
-      sim::Scheduler scheduler(shuffled_graph, inst.model);
-      baselines::RandomWalkAgent a(Rng(rep, 1));
-      baselines::RandomWalkAgent b(Rng(rep, 2));
-      return scheduler.run(a, b, inst.placement, cap);
-    });
+    const auto walk_out = bench::repeat(
+        runner, config.reps, 200 + half,
+        [&](std::uint64_t, std::uint64_t seed) {
+          sim::Scheduler scheduler(shuffled_graph, inst.model);
+          Rng walk_rng(seed);
+          baselines::RandomWalkAgent a(walk_rng.split());
+          baselines::RandomWalkAgent b(walk_rng.split());
+          return scheduler.run(a, b, inst.placement, cap);
+        });
 
     // Core algorithm: distance-2 placement violates the promise (throws);
     // distance-1 control inside clique A works.
@@ -62,17 +68,25 @@ int main(int argc, char** argv) {
       core_d2 = "ran";
     } catch (const CheckError&) {
     }
-    const auto control = bench::repeat(config.reps, [&](std::uint64_t rep) {
-      core::RendezvousOptions options;
-      options.strategy = core::Strategy::Whiteboard;
-      options.seed = rep * 19 + half;
-      // a_start and the shared vertex are adjacent (both in clique A).
-      return core::run_rendezvous(
-                 shuffled_graph,
-                 sim::Placement{inst.placement.a_start, inst.aux}, options)
-          .run;
-    });
+    const auto control = bench::repeat(
+        runner, config.reps, 300 + half,
+        [&](std::uint64_t, std::uint64_t seed) {
+          core::RendezvousOptions options;
+          options.strategy = core::Strategy::Whiteboard;
+          options.seed = seed;
+          // a_start and the shared vertex are adjacent (both in clique A).
+          return core::run_rendezvous(
+                     shuffled_graph,
+                     sim::Placement{inst.placement.a_start, inst.aux},
+                     options)
+              .run;
+        });
 
+    const std::string cell = "_n" + std::to_string(g.num_vertices());
+    bench::emit_aggregate(config, "e8_explore_d2" + cell,
+                          explore_out.aggregate);
+    bench::emit_aggregate(config, "e8_walk_d2" + cell, walk_out.aggregate);
+    bench::emit_aggregate(config, "e8_control_d1" + cell, control.aggregate);
     table.add_row(RowBuilder()
                       .add(std::uint64_t{g.num_vertices()})
                       .add(std::uint64_t{g.max_degree()})

@@ -10,12 +10,14 @@ using namespace fnr;
 
 int main(int argc, char** argv) {
   auto config = bench::BenchConfig::from_cli(argc, argv);
+  const auto runner = config.trial_runner();
   const std::uint64_t trials = config.quick ? 10 : 40;
   bench::print_header(
       "E10 — success probability across " + std::to_string(trials) +
           " independent seeds (near-regular, delta ~ n^0.78)",
       "Expected shape: success fraction 1.0 at every size for both "
       "strategies; p90/p50 stays close to 1 (no heavy tail).");
+  bench::print_runner_info(runner);
 
   Table table({"n", "strategy", "trials", "met", "success", "p50 rounds",
                "p90/p50"});
@@ -24,25 +26,27 @@ int main(int argc, char** argv) {
     const auto g = bench::dense_family(n, 0.78, 900 + n);
     for (const auto strategy :
          {core::Strategy::Whiteboard, core::Strategy::NoWhiteboard}) {
-      std::vector<double> rounds;
-      std::uint64_t met = 0;
-      for (std::uint64_t seed = 1; seed <= trials; ++seed) {
-        const auto report = bench::run_once(g, strategy, seed * 101 + n);
-        if (report.run.met) {
-          ++met;
-          rounds.push_back(static_cast<double>(report.run.meeting_round));
-        }
-      }
-      const auto summary = summarize(rounds);
+      // The batch entry point: fresh placement + RNG stream per trial,
+      // executed across the pool.
+      core::RendezvousOptions options;
+      options.seed = 900 + n;
+      const auto agg =
+          core::run_trials(strategy, g, options, trials, runner).aggregate();
+      bench::emit_aggregate(config,
+                            std::string("e10_n") + std::to_string(n) + "_" +
+                                core::to_string(strategy),
+                            agg);
       table.add_row(
           RowBuilder()
               .add(std::uint64_t{n})
               .add(core::to_string(strategy))
-              .add(trials)
-              .add(met)
-              .add(static_cast<double>(met) / static_cast<double>(trials), 3)
-              .add(summary.median, 0)
-              .add(summary.median > 0 ? summary.p90 / summary.median : 0.0, 2)
+              .add(agg.trials)
+              .add(agg.successes)
+              .add(agg.success_rate, 3)
+              .add(agg.rounds.median, 0)
+              .add(agg.rounds.median > 0 ? agg.rounds.p90 / agg.rounds.median
+                                         : 0.0,
+                   2)
               .build());
     }
   }

@@ -10,11 +10,13 @@ using namespace fnr;
 
 int main(int argc, char** argv) {
   const auto config = bench::BenchConfig::from_cli(argc, argv);
+  const auto runner = config.trial_runner();
   bench::print_header(
       "E11 — resource usage (near-regular, delta ~ n^0.78)",
       "Expected shape: peak agent memory grows ~linearly in n words "
       "(= O(n log n) bits); whiteboards hold one vertex ID each "
       "(<= 64 bits vs the O(log n) claim); agent b stays O(1).");
+  bench::print_runner_info(runner);
 
   Table table({"n", "strategy", "peak a (words)", "words/n", "peak b (words)",
                "boards used", "writes", "bits/board"});
@@ -23,9 +25,12 @@ int main(int argc, char** argv) {
     const auto g = bench::dense_family(n, 0.78, 1100 + n);
     for (const auto strategy :
          {core::Strategy::Whiteboard, core::Strategy::NoWhiteboard}) {
+      const auto reports = runner.run_map(
+          config.reps, 1100 + n, [&](std::uint64_t, std::uint64_t seed) {
+            return bench::run_once(g, strategy, seed);
+          });
       std::vector<double> peak_a, peak_b, boards, writes;
-      for (std::uint64_t rep = 1; rep <= config.reps; ++rep) {
-        const auto report = bench::run_once(g, strategy, rep * 7 + n);
+      for (const auto& report : reports) {
         if (!report.run.met) continue;
         peak_a.push_back(static_cast<double>(
             report.run.metrics.peak_memory_words[0]));
@@ -36,6 +41,10 @@ int main(int argc, char** argv) {
         writes.push_back(
             static_cast<double>(report.run.metrics.whiteboard_writes));
       }
+      bench::emit_aggregate(config,
+                            std::string("e11_n") + std::to_string(n) + "_" +
+                                core::to_string(strategy),
+                            bench::collect(reports, 1100 + n).aggregate);
       const double a_med = summarize(peak_a).median;
       table.add_row(RowBuilder()
                         .add(std::uint64_t{n})

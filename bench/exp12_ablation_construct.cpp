@@ -63,12 +63,15 @@ class ConstructProbe final : public sim::ScriptedAgent {
 
 int main(int argc, char** argv) {
   const auto config = bench::BenchConfig::from_cli(argc, argv);
+  const auto runner = config.trial_runner();
   bench::print_header(
       "Ablation — Construct's two-step decision vs strict-only (δ ~ n^0.6)",
       "Expected shape: the paper's optimistic/strict mix beats the naive "
       "always-strict variant by a factor that widens with n/delta "
       "(O((n/d)log^2 n) vs O((n/d)^2) rounds), with identical output "
       "quality (both T^a dense).");
+  bench::print_runner_info(runner);
+  bench::note_no_aggregates(config);
 
   Table table({"n", "delta", "n/delta", "two-step rounds(med)",
                "strict-only rounds(med)", "speedup", "iters(med)",
@@ -81,25 +84,40 @@ int main(int argc, char** argv) {
     const auto g = graph::make_near_regular(n, out_degree, grng);
     const double delta = static_cast<double>(g.min_degree());
 
+    struct Trial {
+      bool halted = false;
+      bool dense = false;
+      double rounds = 0, iters = 0;
+    };
     auto run_variant = [&](bool optimistic, std::vector<double>& rounds,
                            std::vector<double>& iters, bool& dense) {
       auto params = core::Params::practical();
       params.optimistic_decision = optimistic;
-      for (std::uint64_t rep = 1; rep <= config.reps; ++rep) {
-        sim::Scheduler scheduler(g, sim::Model::full());
-        ConstructProbe probe(params, delta, Rng(rep * 3 + n));
-        const auto result = scheduler.run_single(
-            probe, 0, 400 * params.construct_round_budget(n, delta));
-        if (!probe.halted()) {
+      const auto trials = runner.run_map(
+          config.reps, 40 + n + (optimistic ? 0 : 1),
+          [&](std::uint64_t, std::uint64_t seed) {
+            Trial trial;
+            sim::Scheduler scheduler(g, sim::Model::full());
+            ConstructProbe probe(params, delta, Rng(seed));
+            const auto result = scheduler.run_single(
+                probe, 0, 400 * params.construct_round_budget(n, delta));
+            if (!probe.halted()) return trial;
+            trial.halted = true;
+            trial.rounds = static_cast<double>(result.metrics.rounds);
+            trial.iters = static_cast<double>(probe.stats.iterations);
+            std::vector<graph::VertexIndex> t_idx;
+            for (const auto id : probe.t_set) t_idx.push_back(g.index_of(id));
+            trial.dense = graph::is_dense_set(g, 0, t_idx, delta / 8.0, 2);
+            return trial;
+          });
+      for (const auto& trial : trials) {
+        if (!trial.halted) {
           dense = false;
           continue;
         }
-        rounds.push_back(static_cast<double>(result.metrics.rounds));
-        iters.push_back(static_cast<double>(probe.stats.iterations));
-        std::vector<graph::VertexIndex> t_idx;
-        for (const auto id : probe.t_set) t_idx.push_back(g.index_of(id));
-        dense = dense &&
-                graph::is_dense_set(g, 0, t_idx, delta / 8.0, 2);
+        rounds.push_back(trial.rounds);
+        iters.push_back(trial.iters);
+        dense = dense && trial.dense;
       }
     };
 

@@ -99,4 +99,31 @@ RendezvousReport run_rendezvous(const graph::Graph& g,
   return report;
 }
 
+runner::TrialAccumulator run_trials(Strategy strategy, const graph::Graph& g,
+                                    const RendezvousOptions& options,
+                                    std::uint64_t n_trials, unsigned threads) {
+  runner::RunnerOptions runner_options;
+  runner_options.threads = threads;
+  return run_trials(strategy, g, options, n_trials,
+                    runner::TrialRunner(runner_options));
+}
+
+runner::TrialAccumulator run_trials(Strategy strategy, const graph::Graph& g,
+                                    const RendezvousOptions& options,
+                                    std::uint64_t n_trials,
+                                    const runner::TrialRunner& trial_runner) {
+  return trial_runner.run(
+      n_trials, options.seed,
+      [&](std::uint64_t trial, std::uint64_t seed) {
+        Rng placement_rng(seed, /*stream=*/3);
+        const auto placement = sim::random_adjacent_placement(g, placement_rng);
+        RendezvousOptions trial_options = options;
+        trial_options.strategy = strategy;
+        trial_options.seed = seed;
+        const auto report = run_rendezvous(g, placement, trial_options);
+        return runner::TrialOutcome::from_run(trial, seed, report.run,
+                                              report.agent_b_marks);
+      });
+}
+
 }  // namespace fnr::core

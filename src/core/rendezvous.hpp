@@ -12,6 +12,7 @@
 #include "core/main_rendezvous.hpp"
 #include "core/params.hpp"
 #include "graph/graph.hpp"
+#include "runner/trial_runner.hpp"
 #include "sim/scheduler.hpp"
 
 namespace fnr::core {
@@ -54,5 +55,23 @@ struct RendezvousReport {
 [[nodiscard]] RendezvousReport run_rendezvous(const graph::Graph& g,
                                               sim::Placement placement,
                                               const RendezvousOptions& options);
+
+/// Batch entry point: runs `n_trials` independent instances of `strategy`
+/// through the parallel TrialRunner. Each trial t derives its own RNG stream
+/// from (options.seed, t) — the seed split makes the aggregate bit-identical
+/// no matter how many threads execute the batch — and draws a fresh uniform
+/// adjacent placement from that stream. options.strategy is overridden by
+/// the explicit `strategy` argument.
+[[nodiscard]] runner::TrialAccumulator run_trials(
+    Strategy strategy, const graph::Graph& g,
+    const RendezvousOptions& options, std::uint64_t n_trials,
+    unsigned threads = 0);
+
+/// Same batch, executed on a caller-provided runner (reuse one pool across
+/// cells and keep any reporting about it accurate).
+[[nodiscard]] runner::TrialAccumulator run_trials(
+    Strategy strategy, const graph::Graph& g,
+    const RendezvousOptions& options, std::uint64_t n_trials,
+    const runner::TrialRunner& trial_runner);
 
 }  // namespace fnr::core

@@ -1,0 +1,188 @@
+#include "runner/trial_runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "util/check.hpp"
+#include "util/table.hpp"
+
+namespace fnr::runner {
+
+std::uint64_t trial_seed(std::uint64_t base_seed,
+                         std::uint64_t trial) noexcept {
+  // Decorrelate the per-trial streams the same way Rng decorrelates
+  // (seed, stream) pairs, then run one splitmix64 step for avalanche.
+  std::uint64_t state = base_seed ^ (0x6a09e667f3bcc909ULL * (trial + 1));
+  const std::uint64_t mixed = splitmix64(state);
+  return mixed != 0 ? mixed : 1;
+}
+
+TrialOutcome TrialOutcome::from_run(std::uint64_t trial, std::uint64_t seed,
+                                    const sim::RunResult& run,
+                                    std::uint64_t marks) {
+  TrialOutcome out;
+  out.trial = trial;
+  out.seed = seed;
+  out.met = run.met;
+  out.meeting_round = run.meeting_round;
+  out.rounds = run.metrics.rounds;
+  out.moves_a = run.metrics.moves_of(sim::AgentName::A);
+  out.moves_b = run.metrics.moves_of(sim::AgentName::B);
+  out.whiteboard_marks = marks;
+  return out;
+}
+
+void TrialAccumulator::add(TrialOutcome outcome) {
+  outcomes_.push_back(outcome);
+}
+
+void TrialAccumulator::merge(const TrialAccumulator& other) {
+  outcomes_.insert(outcomes_.end(), other.outcomes_.begin(),
+                   other.outcomes_.end());
+}
+
+std::vector<TrialOutcome> TrialAccumulator::sorted_outcomes() const {
+  std::vector<TrialOutcome> sorted = outcomes_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const TrialOutcome& a, const TrialOutcome& b) {
+              return a.trial != b.trial ? a.trial < b.trial : a.seed < b.seed;
+            });
+  return sorted;
+}
+
+TrialAggregate TrialAccumulator::aggregate() const {
+  const auto sorted = sorted_outcomes();
+  TrialAggregate agg;
+  agg.trials = sorted.size();
+  if (sorted.empty()) return agg;
+
+  std::vector<double> rounds;
+  rounds.reserve(sorted.size());
+  double moves_a = 0.0, moves_b = 0.0;
+  for (const auto& out : sorted) {
+    if (out.met) {
+      ++agg.successes;
+      rounds.push_back(static_cast<double>(out.meeting_round));
+    } else {
+      ++agg.failures;
+    }
+    agg.total_marks += out.whiteboard_marks;
+    moves_a += static_cast<double>(out.moves_a);
+    moves_b += static_cast<double>(out.moves_b);
+  }
+  const auto n = static_cast<double>(agg.trials);
+  agg.success_rate = static_cast<double>(agg.successes) / n;
+  agg.rounds = summarize(std::move(rounds));
+  agg.mean_marks = static_cast<double>(agg.total_marks) / n;
+  agg.mean_moves_a = moves_a / n;
+  agg.mean_moves_b = moves_b / n;
+  return agg;
+}
+
+std::string TrialAggregate::csv_header() {
+  return "label,trials,successes,failures,success_rate,rounds_mean,"
+         "rounds_median,rounds_p90,rounds_p95,rounds_min,rounds_max,"
+         "total_marks,mean_marks,mean_moves_a,mean_moves_b";
+}
+
+std::string TrialAggregate::to_csv_row(const std::string& label) const {
+  std::ostringstream os;
+  os << label << ',' << trials << ',' << successes << ',' << failures << ','
+     << format_double(success_rate, 4) << ',' << format_double(rounds.mean, 2)
+     << ',' << format_double(rounds.median, 2) << ','
+     << format_double(rounds.p90, 2) << ',' << format_double(rounds.p95, 2)
+     << ',' << format_double(rounds.min, 2)
+     << ',' << format_double(rounds.max, 2) << ',' << total_marks << ','
+     << format_double(mean_marks, 2) << ',' << format_double(mean_moves_a, 2)
+     << ',' << format_double(mean_moves_b, 2);
+  return os.str();
+}
+
+std::string TrialAggregate::to_json() const {
+  std::ostringstream os;
+  os << "{\"trials\":" << trials << ",\"successes\":" << successes
+     << ",\"failures\":" << failures
+     << ",\"success_rate\":" << format_double(success_rate, 4)
+     << ",\"rounds\":{\"mean\":" << format_double(rounds.mean, 2)
+     << ",\"median\":" << format_double(rounds.median, 2)
+     << ",\"p90\":" << format_double(rounds.p90, 2)
+     << ",\"p95\":" << format_double(rounds.p95, 2)
+     << ",\"min\":" << format_double(rounds.min, 2)
+     << ",\"max\":" << format_double(rounds.max, 2) << "}"
+     << ",\"total_marks\":" << total_marks
+     << ",\"mean_marks\":" << format_double(mean_marks, 2)
+     << ",\"mean_moves_a\":" << format_double(mean_moves_a, 2)
+     << ",\"mean_moves_b\":" << format_double(mean_moves_b, 2) << "}";
+  return os.str();
+}
+
+TrialRunner::TrialRunner(RunnerOptions options) {
+  threads_ = options.threads != 0 ? options.threads
+                                  : std::max(1u,
+                                             std::thread::hardware_concurrency());
+}
+
+void TrialRunner::dispatch(
+    std::uint64_t n_trials,
+    const std::function<void(std::uint64_t)>& body) const {
+  if (n_trials == 0) return;
+
+  const auto workers = static_cast<unsigned>(
+      std::min<std::uint64_t>(threads_, n_trials));
+
+  std::atomic<std::uint64_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::uint64_t trial = next.fetch_add(1, std::memory_order_relaxed);
+      if (trial >= n_trials) return;
+      try {
+        body(trial);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        // Drain the remaining trials so all workers exit promptly.
+        next.store(n_trials, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  if (workers == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
+    for (auto& thread : pool) thread.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+TrialAccumulator TrialRunner::run(
+    std::uint64_t n_trials, std::uint64_t base_seed,
+    const std::function<TrialOutcome(std::uint64_t, std::uint64_t)>& fn)
+    const {
+  // Slot-per-trial staging keeps the aggregate independent of scheduling:
+  // workers race only on the atomic counter, never on the slots.
+  std::vector<TrialOutcome> slots(n_trials);
+  dispatch(n_trials, [&](std::uint64_t trial) {
+    const std::uint64_t seed = trial_seed(base_seed, trial);
+    TrialOutcome out = fn(trial, seed);
+    out.trial = trial;
+    out.seed = seed;
+    slots[trial] = out;
+  });
+
+  TrialAccumulator acc;
+  for (auto& out : slots) acc.add(out);
+  return acc;
+}
+
+}  // namespace fnr::runner

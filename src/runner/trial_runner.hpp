@@ -1,0 +1,139 @@
+// Parallel Monte-Carlo trial runner.
+//
+// Every probabilistic claim in the paper (Theorems 1-2, the δ-doubling
+// variant, the lower bounds) is validated by repeated randomized trials;
+// this subsystem executes those trials across a std::thread pool.
+//
+// Determinism contract: trial i always receives the seed
+// trial_seed(base_seed, i), workers write their outcome into slot i of a
+// pre-sized vector, and aggregation walks the slots in trial order — so the
+// aggregate is bit-identical no matter how many threads ran the batch or how
+// the OS interleaved them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "sim/metrics.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace fnr::runner {
+
+/// Deterministic per-trial RNG stream: splits `base_seed` into independent
+/// streams, one per trial index, via splitmix64 (never returns 0 so callers
+/// may treat seeds as nonzero tokens).
+[[nodiscard]] std::uint64_t trial_seed(std::uint64_t base_seed,
+                                       std::uint64_t trial) noexcept;
+
+/// One trial's outcome, as fed to the accumulator.
+struct TrialOutcome {
+  std::uint64_t trial = 0;  ///< trial index within the batch
+  std::uint64_t seed = 0;   ///< the split seed the trial ran with
+  bool met = false;
+  std::uint64_t meeting_round = 0;
+  std::uint64_t rounds = 0;  ///< rounds executed (== meeting_round when met)
+  std::uint64_t moves_a = 0;
+  std::uint64_t moves_b = 0;
+  std::uint64_t whiteboard_marks = 0;  ///< b's writes (whiteboard strategies)
+
+  /// Lifts a Scheduler RunResult into an outcome.
+  [[nodiscard]] static TrialOutcome from_run(std::uint64_t trial,
+                                             std::uint64_t seed,
+                                             const sim::RunResult& run,
+                                             std::uint64_t marks = 0);
+};
+
+/// Batch-level aggregate statistics.
+struct TrialAggregate {
+  std::uint64_t trials = 0;
+  std::uint64_t successes = 0;
+  std::uint64_t failures = 0;
+  double success_rate = 0.0;
+  /// Meeting rounds of successful trials.
+  Summary rounds;
+  std::uint64_t total_marks = 0;
+  double mean_marks = 0.0;
+  double mean_moves_a = 0.0;
+  double mean_moves_b = 0.0;
+
+  /// CSV column names matching to_csv_row (leading `label` column).
+  [[nodiscard]] static std::string csv_header();
+  [[nodiscard]] std::string to_csv_row(const std::string& label) const;
+  /// Single-object JSON (stable key order, machine-diffable).
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Mergeable accumulator of trial outcomes.
+///
+/// merge() is associative and commutative at the multiset level, and
+/// aggregate() canonicalizes by trial index before any floating-point
+/// reduction — so (A ∪ B) ∪ C and A ∪ (B ∪ C) produce bit-identical
+/// aggregates regardless of insertion order.
+class TrialAccumulator {
+ public:
+  void add(TrialOutcome outcome);
+  void merge(const TrialAccumulator& other);
+
+  [[nodiscard]] std::size_t count() const noexcept {
+    return outcomes_.size();
+  }
+  /// Outcomes sorted by trial index.
+  [[nodiscard]] std::vector<TrialOutcome> sorted_outcomes() const;
+  [[nodiscard]] TrialAggregate aggregate() const;
+
+ private:
+  std::vector<TrialOutcome> outcomes_;
+};
+
+struct RunnerOptions {
+  /// 0 → std::thread::hardware_concurrency().
+  unsigned threads = 0;
+};
+
+/// Executes N independent trials across a thread pool.
+class TrialRunner {
+ public:
+  explicit TrialRunner(RunnerOptions options = {});
+
+  [[nodiscard]] unsigned threads() const noexcept { return threads_; }
+
+  /// Parallel map: runs fn(trial, trial_seed(base_seed, trial)) for each
+  /// trial in [0, n_trials) and returns results in trial order. This is the
+  /// primitive everything else is built on; use it when a bench needs a
+  /// custom per-trial payload. Exceptions thrown by fn are rethrown (first
+  /// one wins) after all workers join.
+  template <typename Fn>
+  [[nodiscard]] auto run_map(std::uint64_t n_trials, std::uint64_t base_seed,
+                             Fn&& fn) const
+      -> std::vector<std::invoke_result_t<Fn, std::uint64_t, std::uint64_t>> {
+    using R = std::invoke_result_t<Fn, std::uint64_t, std::uint64_t>;
+    static_assert(!std::is_same_v<R, bool>,
+                  "std::vector<bool> packs bits — concurrent slot writes "
+                  "would race. Return char/int instead.");
+    std::vector<R> results(n_trials);
+    dispatch(n_trials, [&](std::uint64_t trial) {
+      results[trial] = fn(trial, trial_seed(base_seed, trial));
+    });
+    return results;
+  }
+
+  /// Runs trials whose fn yields a TrialOutcome (or anything convertible via
+  /// TrialOutcome::from_run at the call site) and aggregates them.
+  [[nodiscard]] TrialAccumulator run(
+      std::uint64_t n_trials, std::uint64_t base_seed,
+      const std::function<TrialOutcome(std::uint64_t trial,
+                                       std::uint64_t seed)>& fn) const;
+
+ private:
+  /// Work-stealing-by-counter dispatch of body(trial) over [0, n_trials).
+  void dispatch(std::uint64_t n_trials,
+                const std::function<void(std::uint64_t)>& body) const;
+
+  unsigned threads_ = 1;
+};
+
+}  // namespace fnr::runner

@@ -27,6 +27,7 @@ Summary summarize(std::vector<double> values) {
   s.max = values.back();
   s.median = percentile_sorted(values, 0.5);
   s.p90 = percentile_sorted(values, 0.9);
+  s.p95 = percentile_sorted(values, 0.95);
   double sum = 0.0;
   for (double v : values) sum += v;
   s.mean = sum / static_cast<double>(values.size());

@@ -15,6 +15,7 @@ struct Summary {
   double min = 0.0;
   double median = 0.0;
   double p90 = 0.0;
+  double p95 = 0.0;
   double max = 0.0;
 };
 

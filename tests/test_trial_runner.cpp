@@ -1,0 +1,189 @@
+// Tests for the parallel Monte-Carlo trial runner: determinism across
+// thread counts, accumulator merge associativity, and edge cases.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <stdexcept>
+
+#include "runner/trial_runner.hpp"
+#include "test_support.hpp"
+
+namespace fnr::runner {
+namespace {
+
+/// Byte-level equality — "bit-identical" is the contract under test.
+bool bits_equal(const TrialAggregate& x, const TrialAggregate& y) {
+  return std::memcmp(&x, &y, sizeof(TrialAggregate)) == 0;
+}
+
+TrialOutcome synthetic_outcome(std::uint64_t trial, std::uint64_t seed) {
+  // A deterministic function of (trial, seed) with enough variety to make
+  // ordering bugs visible: some trials fail, rounds vary non-monotonically.
+  TrialOutcome out;
+  out.trial = trial;
+  out.seed = seed;
+  out.met = seed % 7 != 0;
+  out.meeting_round = out.met ? (seed % 1000) + 1 : 0;
+  out.rounds = out.met ? out.meeting_round : 2000;
+  out.moves_a = seed % 13;
+  out.moves_b = seed % 17;
+  out.whiteboard_marks = seed % 5;
+  return out;
+}
+
+TEST(TrialSeed, DistinctAndStable) {
+  EXPECT_EQ(trial_seed(42, 0), trial_seed(42, 0));
+  EXPECT_NE(trial_seed(42, 0), trial_seed(42, 1));
+  EXPECT_NE(trial_seed(42, 0), trial_seed(43, 0));
+  for (std::uint64_t t = 0; t < 100; ++t) EXPECT_NE(trial_seed(7, t), 0u);
+}
+
+TEST(TrialRunner, DeterministicAcrossThreadCounts) {
+  TrialAggregate reference;
+  bool first = true;
+  for (const unsigned threads : {1u, 4u, 8u}) {
+    RunnerOptions options;
+    options.threads = threads;
+    const TrialRunner runner(options);
+    const auto acc = runner.run(64, 9001, synthetic_outcome);
+    const auto agg = acc.aggregate();
+    EXPECT_EQ(agg.trials, 64u);
+    if (first) {
+      reference = agg;
+      first = false;
+    } else {
+      EXPECT_TRUE(bits_equal(reference, agg))
+          << "aggregate differs at " << threads << " threads";
+    }
+  }
+}
+
+TEST(TrialRunner, RealRendezvousDeterministicAcrossThreadCounts) {
+  const auto g = test::dense_graph(128, 5);
+  core::RendezvousOptions options;
+  options.seed = 33;
+  const auto reference =
+      core::run_trials(core::Strategy::Whiteboard, g, options, 8, 1)
+          .aggregate();
+  for (const unsigned threads : {4u, 8u}) {
+    const auto agg =
+        core::run_trials(core::Strategy::Whiteboard, g, options, 8, threads)
+            .aggregate();
+    EXPECT_TRUE(bits_equal(reference, agg))
+        << "run_trials aggregate differs at " << threads << " threads";
+  }
+}
+
+TEST(TrialRunner, RunMapPreservesTrialOrder) {
+  RunnerOptions options;
+  options.threads = 8;
+  const TrialRunner runner(options);
+  const auto results = runner.run_map(
+      100, 5, [](std::uint64_t trial, std::uint64_t seed) {
+        EXPECT_EQ(seed, trial_seed(5, trial));
+        return trial * 3;
+      });
+  ASSERT_EQ(results.size(), 100u);
+  for (std::uint64_t i = 0; i < 100; ++i) EXPECT_EQ(results[i], i * 3);
+}
+
+TEST(TrialRunner, PropagatesExceptions) {
+  RunnerOptions options;
+  options.threads = 4;
+  const TrialRunner runner(options);
+  EXPECT_THROW(
+      (void)runner.run(16, 1,
+                       [](std::uint64_t trial, std::uint64_t) -> TrialOutcome {
+                         if (trial == 7) throw std::runtime_error("boom");
+                         return {};
+                       }),
+      std::runtime_error);
+}
+
+TEST(TrialAccumulator, MergeAssociativeAndOrderInsensitive) {
+  std::vector<TrialOutcome> outcomes;
+  for (std::uint64_t t = 0; t < 30; ++t)
+    outcomes.push_back(synthetic_outcome(t, trial_seed(77, t)));
+
+  // One accumulator fed in trial order.
+  TrialAccumulator all;
+  for (const auto& out : outcomes) all.add(out);
+
+  // Split three ways with interleaved membership, fed in reverse, then
+  // merged in both groupings: (a ∪ b) ∪ c and a ∪ (b ∪ c).
+  TrialAccumulator a, b, c;
+  for (std::size_t i = outcomes.size(); i-- > 0;) {
+    (i % 3 == 0 ? a : i % 3 == 1 ? b : c).add(outcomes[i]);
+  }
+  TrialAccumulator left = a;
+  left.merge(b);
+  left.merge(c);
+  TrialAccumulator bc = b;
+  bc.merge(c);
+  TrialAccumulator right = a;
+  right.merge(bc);
+
+  const auto agg_all = all.aggregate();
+  EXPECT_TRUE(bits_equal(agg_all, left.aggregate()));
+  EXPECT_TRUE(bits_equal(agg_all, right.aggregate()));
+  EXPECT_EQ(left.count(), outcomes.size());
+}
+
+TEST(TrialAccumulator, EmptyAggregateIsAllZero) {
+  const TrialAccumulator acc;
+  const auto agg = acc.aggregate();
+  EXPECT_EQ(agg.trials, 0u);
+  EXPECT_EQ(agg.successes, 0u);
+  EXPECT_EQ(agg.failures, 0u);
+  EXPECT_EQ(agg.success_rate, 0.0);
+  EXPECT_EQ(agg.rounds.count, 0u);
+}
+
+TEST(TrialRunner, ZeroTrials) {
+  const TrialRunner runner;
+  const auto acc = runner.run(0, 1, synthetic_outcome);
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.aggregate().trials, 0u);
+}
+
+TEST(TrialRunner, SingleTrial) {
+  RunnerOptions options;
+  options.threads = 8;  // more threads than trials must be fine
+  const TrialRunner runner(options);
+  const auto acc = runner.run(1, 123, synthetic_outcome);
+  ASSERT_EQ(acc.count(), 1u);
+  const auto agg = acc.aggregate();
+  EXPECT_EQ(agg.trials, 1u);
+  const auto expected = synthetic_outcome(0, trial_seed(123, 0));
+  EXPECT_EQ(agg.successes + agg.failures, 1u);
+  EXPECT_EQ(agg.successes, expected.met ? 1u : 0u);
+  if (expected.met) {
+    EXPECT_EQ(agg.rounds.mean,
+              static_cast<double>(expected.meeting_round));
+    EXPECT_EQ(agg.rounds.median, agg.rounds.mean);
+    EXPECT_EQ(agg.rounds.p95, agg.rounds.mean);
+  }
+}
+
+TEST(TrialAggregate, CsvAndJsonWellFormed) {
+  TrialAccumulator acc;
+  for (std::uint64_t t = 0; t < 10; ++t)
+    acc.add(synthetic_outcome(t, trial_seed(3, t)));
+  const auto agg = acc.aggregate();
+
+  const auto header = TrialAggregate::csv_header();
+  const auto row = agg.to_csv_row("cell_a");
+  EXPECT_EQ(std::count(header.begin(), header.end(), ','),
+            std::count(row.begin(), row.end(), ','));
+  EXPECT_EQ(row.rfind("cell_a,", 0), 0u);
+
+  const auto json = agg.to_json();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"trials\":10"), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+}  // namespace
+}  // namespace fnr::runner
