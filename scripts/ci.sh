@@ -1,12 +1,30 @@
 #!/usr/bin/env bash
 # Tier-1 verify: configure, build, run the full test suite.
-# Usage: scripts/ci.sh [build-dir]   (default: build)
+#
+# Usage: scripts/ci.sh [build-dir] [--sanitize] [extra cmake args...]
+#   scripts/ci.sh                         # plain build + ctest in ./build
+#   scripts/ci.sh build-asan --sanitize   # ASan/UBSan build + ctest
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build}"
+# The build dir is optional; a leading flag (e.g. `ci.sh --sanitize`) must
+# not be mistaken for one.
+BUILD_DIR=build
+if [[ $# -gt 0 && "$1" != --* ]]; then
+  BUILD_DIR="$1"
+  shift
+fi
 
-cmake -B "$BUILD_DIR" -S .
+CMAKE_ARGS=()
+for arg in "$@"; do
+  if [[ "$arg" == "--sanitize" ]]; then
+    CMAKE_ARGS+=(-DFNR_SANITIZE=ON)
+  else
+    CMAKE_ARGS+=("$arg")
+  fi
+done
+
+cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]+"${CMAKE_ARGS[@]}"}"
 cmake --build "$BUILD_DIR" -j
 cd "$BUILD_DIR"
 ctest --output-on-failure -j

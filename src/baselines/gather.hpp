@@ -1,0 +1,52 @@
+// Explore-then-rally gathering baseline.
+//
+// The classic way k >= 2 agents with unique vertex IDs gather without any
+// pre-agreement: each agent DFS-explores the graph (KT1 makes the map
+// learnable — every visited vertex reveals its neighbors' IDs), then walks
+// to the smallest vertex ID it has seen and halts there. On a connected
+// graph every agent learns the same minimum, so all agents end on one
+// vertex within O(n) rounds — the coordination the independent random walks
+// lack (k-way co-location of walkers has probability ~n^{1-k} per round).
+// Symmetric: every agent runs the same program, any placement, any k.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "sim/scripted_agent.hpp"
+
+namespace fnr::baselines {
+
+class GatherAtMinAgent final : public sim::ScriptedAgent {
+ public:
+  GatherAtMinAgent() = default;
+
+  /// True once the agent stands on the rally vertex with nothing to do.
+  [[nodiscard]] bool arrived() const noexcept { return arrived_; }
+  /// Lets single-agent runs stop at the rally instead of burning the cap.
+  [[nodiscard]] bool halted() const override { return arrived_; }
+  [[nodiscard]] std::size_t visited_count() const noexcept {
+    return adjacency_.size();
+  }
+  [[nodiscard]] std::size_t memory_words() const override;
+
+ protected:
+  void on_idle(const sim::View& view) override;
+
+ private:
+  /// BFS route over the learned map from `from` to `to` (exclusive of
+  /// `from`, inclusive of `to`).
+  [[nodiscard]] std::vector<graph::VertexId> route(graph::VertexId from,
+                                                   graph::VertexId to) const;
+
+  bool init_ = false;
+  bool rallying_ = false;
+  bool arrived_ = false;
+  graph::VertexId root_ = 0;
+  graph::VertexId min_seen_ = 0;
+  std::unordered_map<graph::VertexId, std::vector<graph::VertexId>> adjacency_;
+  std::unordered_map<graph::VertexId, graph::VertexId> parent_;
+  std::unordered_map<graph::VertexId, std::size_t> next_child_;
+};
+
+}  // namespace fnr::baselines

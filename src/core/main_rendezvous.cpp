@@ -99,11 +99,14 @@ bool WhiteboardAgentA::check_mark(const sim::View& view) {
   const auto mark = view.whiteboard();
   if (!mark.has_value()) return false;
   const graph::VertexId b_home = *mark;
-  // b only ever writes v₀ᵇ, which is adjacent to home (initial distance 1).
-  FNR_CHECK_MSG(knowledge_.in_home_closed(b_home) &&
-                    b_home != knowledge_.home(),
-                "whiteboard mark " << b_home
-                                   << " does not name a neighbor of home");
+  // In the paper's instance class b only ever writes v₀ᵇ, which is adjacent
+  // to home (initial distance 1). k-agent and delayed-start scenarios can
+  // surface a mark from an agent whose home is NOT in our neighborhood;
+  // there is no known route to it, so skip the mark and keep probing.
+  if (!knowledge_.in_home_closed(b_home) || b_home == knowledge_.home()) {
+    ++stats_.foreign_marks;
+    return false;
+  }
   stats_.found_mark = true;
   plan_route(knowledge_.route_to_home(view.here()));
   plan_move(b_home);

@@ -32,6 +32,10 @@ struct AgentAStats {
   std::uint64_t doubling_restarts = 0;
   std::uint64_t main_probes = 0;   ///< Tᵃ samples during Main-Rendezvous
   bool found_mark = false;         ///< a read one of b's marks
+  /// Marks read that do not name a neighbor of home. Impossible in the
+  /// paper's two-agent distance-1 instance; in k-agent scenarios a foreign
+  /// b's mark is unusable (no known route) and is skipped.
+  std::uint64_t foreign_marks = 0;
   std::uint64_t phases_used = 0;   ///< Algorithm 4 only
 };
 

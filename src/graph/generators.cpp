@@ -124,6 +124,223 @@ Graph make_hub_augmented(std::size_t n, std::size_t base_out_degree,
   return std::move(b).build_identity_ids();
 }
 
+Graph make_torus(std::size_t rows, std::size_t cols) {
+  FNR_CHECK_MSG(rows >= 3 && cols >= 3,
+                "torus needs rows, cols >= 3 to stay simple");
+  GraphBuilder b(rows * cols);
+  auto at = [cols](std::size_t r, std::size_t c) {
+    return static_cast<VertexIndex>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      b.add_edge(at(r, c), at(r, (c + 1) % cols));
+      b.add_edge(at(r, c), at((r + 1) % rows, c));
+    }
+  }
+  return std::move(b).build_identity_ids();
+}
+
+Graph make_hypercube(std::size_t dim) {
+  FNR_CHECK_MSG(dim >= 1 && dim <= 24, "hypercube dim must be in [1, 24]");
+  const std::size_t n = std::size_t{1} << dim;
+  GraphBuilder b(n);
+  for (std::size_t v = 0; v < n; ++v)
+    for (std::size_t bit = 0; bit < dim; ++bit) {
+      const std::size_t u = v ^ (std::size_t{1} << bit);
+      if (v < u)
+        b.add_edge(static_cast<VertexIndex>(v), static_cast<VertexIndex>(u));
+    }
+  return std::move(b).build_identity_ids();
+}
+
+Graph make_barabasi_albert(std::size_t n, std::size_t m, Rng& rng) {
+  FNR_CHECK_MSG(m >= 1, "attachment count m must be >= 1");
+  FNR_CHECK_MSG(n >= m + 2, "Barabási–Albert needs n >= m + 2");
+  GraphBuilder b(n);
+  // One endpoint entry per degree unit: sampling a uniform slot is sampling
+  // a vertex proportionally to its degree.
+  std::vector<VertexIndex> slots;
+  slots.reserve(2 * (m * (m + 1) / 2 + (n - m - 1) * m));
+  for (VertexIndex u = 0; u <= m; ++u)
+    for (VertexIndex v = u + 1; v <= m; ++v) {
+      b.add_edge(u, v);
+      slots.push_back(u);
+      slots.push_back(v);
+    }
+  std::unordered_set<VertexIndex> picked;
+  std::vector<VertexIndex> picks;  // in pick order: slot layout must not
+                                   // depend on hash-set iteration order
+  for (VertexIndex v = static_cast<VertexIndex>(m + 1); v < n; ++v) {
+    picked.clear();
+    picks.clear();
+    while (picked.size() < m) {
+      const VertexIndex target = slots[rng.below(slots.size())];
+      if (picked.contains(target)) continue;  // attachments are distinct
+      picked.insert(target);
+      picks.push_back(target);
+      b.add_edge(v, target);
+    }
+    // Publish the new edges only after all m picks: a vertex never attaches
+    // to itself, and its own fresh degree does not bias its own picks.
+    for (const VertexIndex target : picks) {
+      slots.push_back(v);
+      slots.push_back(target);
+    }
+  }
+  return std::move(b).build_identity_ids();
+}
+
+Graph make_watts_strogatz(std::size_t n, std::size_t k, double beta,
+                          Rng& rng) {
+  FNR_CHECK_MSG(k >= 1, "ring lattice needs k >= 1 neighbors per side");
+  FNR_CHECK_MSG(2 * k + 1 <= n, "ring lattice needs 2k + 1 <= n");
+  FNR_CHECK_MSG(beta >= 0.0 && beta <= 1.0, "beta must be in [0, 1]");
+  // Track adjacency so rewiring never creates a duplicate (the builder
+  // would silently dedup it, quietly lowering the edge count).
+  std::vector<std::unordered_set<VertexIndex>> adj(n);
+  auto connect = [&](VertexIndex u, VertexIndex v) {
+    adj[u].insert(v);
+    adj[v].insert(u);
+  };
+  for (std::size_t v = 0; v < n; ++v)
+    for (std::size_t j = 1; j <= k; ++j)
+      connect(static_cast<VertexIndex>(v),
+              static_cast<VertexIndex>((v + j) % n));
+  for (std::size_t v = 0; v < n; ++v) {
+    // Offset-1 edges (the base cycle) are exempt: they keep the graph
+    // connected no matter how aggressively the long-range edges rewire.
+    for (std::size_t j = 2; j <= k; ++j) {
+      const auto u = static_cast<VertexIndex>((v + j) % n);
+      if (!rng.bernoulli(beta)) continue;
+      // A handful of rejection draws; on pathological (tiny, dense) inputs
+      // keep the lattice edge rather than loop forever.
+      for (int attempt = 0; attempt < 32; ++attempt) {
+        const auto t = static_cast<VertexIndex>(rng.below(n));
+        if (t == v || adj[v].contains(t)) continue;
+        adj[v].erase(u);
+        adj[u].erase(static_cast<VertexIndex>(v));
+        connect(static_cast<VertexIndex>(v), t);
+        break;
+      }
+    }
+  }
+  GraphBuilder b(n);
+  for (std::size_t v = 0; v < n; ++v)
+    for (const VertexIndex u : adj[v])
+      if (v < u) b.add_edge(static_cast<VertexIndex>(v), u);
+  return std::move(b).build_identity_ids();
+}
+
+namespace {
+
+double squared_distance(const std::array<double, 2>& p,
+                        const std::array<double, 2>& q) {
+  const double dx = p[0] - q[0];
+  const double dy = p[1] - q[1];
+  return dx * dx + dy * dy;
+}
+
+std::vector<std::array<double, 2>> draw_points(std::size_t n, Rng& rng) {
+  std::vector<std::array<double, 2>> points(n);
+  for (auto& p : points) {
+    p[0] = rng.uniform01();
+    p[1] = rng.uniform01();
+  }
+  return points;
+}
+
+std::vector<std::pair<VertexIndex, VertexIndex>> radius_edges(
+    const std::vector<std::array<double, 2>>& points, double radius) {
+  std::vector<std::pair<VertexIndex, VertexIndex>> edges;
+  const double r2 = radius * radius;
+  for (std::size_t i = 0; i < points.size(); ++i)
+    for (std::size_t j = i + 1; j < points.size(); ++j)
+      if (squared_distance(points[i], points[j]) <= r2)
+        edges.emplace_back(static_cast<VertexIndex>(i),
+                           static_cast<VertexIndex>(j));
+  return edges;
+}
+
+/// Union-find over vertex indices (path halving + union by size).
+class DisjointSets {
+ public:
+  explicit DisjointSets(std::size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), VertexIndex{0});
+  }
+  VertexIndex find(VertexIndex v) {
+    while (parent_[v] != v) {
+      parent_[v] = parent_[parent_[v]];
+      v = parent_[v];
+    }
+    return v;
+  }
+  bool unite(VertexIndex u, VertexIndex v) {
+    u = find(u);
+    v = find(v);
+    if (u == v) return false;
+    if (size_[u] < size_[v]) std::swap(u, v);
+    parent_[v] = u;
+    size_[u] += size_[v];
+    return true;
+  }
+
+ private:
+  std::vector<VertexIndex> parent_;
+  std::vector<std::size_t> size_;
+};
+
+}  // namespace
+
+GeometricGraph make_random_geometric(std::size_t n, double radius, Rng& rng) {
+  FNR_CHECK(n >= 2);
+  FNR_CHECK_MSG(radius > 0.0, "geometric radius must be positive");
+  GeometricGraph out;
+  out.points = draw_points(n, rng);
+  GraphBuilder b(n);
+  for (const auto& [u, v] : radius_edges(out.points, radius)) b.add_edge(u, v);
+  out.graph = std::move(b).build_identity_ids();
+  return out;
+}
+
+GeometricGraph make_random_geometric_connected(std::size_t n, double radius,
+                                               Rng& rng) {
+  FNR_CHECK(n >= 2);
+  FNR_CHECK_MSG(radius > 0.0, "geometric radius must be positive");
+  GeometricGraph out;
+  out.points = draw_points(n, rng);
+  auto edges = radius_edges(out.points, radius);
+  DisjointSets components(n);
+  std::size_t num_components = n;
+  for (const auto& [u, v] : edges)
+    if (components.unite(u, v)) --num_components;
+  // Bridge the globally closest inter-component pair until one component
+  // remains. O(components * n^2), fine at experiment sizes; the points are
+  // fixed, so the patching is deterministic.
+  while (num_components > 1) {
+    double best = std::numeric_limits<double>::infinity();
+    VertexIndex best_u = 0, best_v = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const auto u = static_cast<VertexIndex>(i);
+        const auto v = static_cast<VertexIndex>(j);
+        if (components.find(u) == components.find(v)) continue;
+        const double d2 = squared_distance(out.points[i], out.points[j]);
+        if (d2 < best) {
+          best = d2;
+          best_u = u;
+          best_v = v;
+        }
+      }
+    edges.emplace_back(best_u, best_v);
+    components.unite(best_u, best_v);
+    --num_components;
+  }
+  GraphBuilder b(n);
+  for (const auto& [u, v] : edges) b.add_edge(u, v);
+  out.graph = std::move(b).build_identity_ids();
+  return out;
+}
+
 DoubleStar make_double_star(std::size_t leaves_per_center) {
   FNR_CHECK(leaves_per_center >= 1);
   const std::size_t n = 2 * leaves_per_center + 2;

@@ -7,7 +7,9 @@
 // construction (Figures 1–3 of the paper) alongside the graph.
 #pragma once
 
+#include <array>
 #include <cstddef>
+#include <vector>
 
 #include "graph/builder.hpp"
 #include "graph/graph.hpp"
@@ -52,6 +54,59 @@ namespace fnr::graph {
 [[nodiscard]] Graph make_hub_augmented(std::size_t n,
                                        std::size_t base_out_degree,
                                        std::size_t num_hubs, Rng& rng);
+
+// --- structured families (scenario-engine topologies) -----------------------
+
+/// rows x cols torus: the grid with wraparound in both dimensions. Requires
+/// rows, cols >= 3 (smaller wraps would collapse into parallel edges).
+/// Guarantees: connected, 4-regular (δ = Δ = 4).
+[[nodiscard]] Graph make_torus(std::size_t rows, std::size_t cols);
+
+/// d-dimensional hypercube Q_d: n = 2^d vertices, edges between words at
+/// Hamming distance 1. Requires 1 <= dim <= 24.
+/// Guarantees: connected, dim-regular (δ = Δ = dim).
+[[nodiscard]] Graph make_hypercube(std::size_t dim);
+
+// --- random families (realistic topologies) ---------------------------------
+
+/// Barabási–Albert preferential attachment: seed clique K_{m+1}, then each
+/// new vertex attaches `m` edges to distinct existing vertices chosen
+/// proportionally to current degree. Requires n >= m + 2, m >= 1.
+/// Guarantees: connected, simple, δ >= m.
+[[nodiscard]] Graph make_barabasi_albert(std::size_t n, std::size_t m,
+                                         Rng& rng);
+
+/// Watts–Strogatz small world: ring of n vertices, each joined to its k
+/// nearest neighbors per side; every long-range edge (offset >= 2) is
+/// rewired with probability beta to a uniform non-adjacent target. The
+/// offset-1 base cycle is never rewired, so connectivity survives any beta.
+/// Requires 2*k + 1 <= n, beta in [0, 1].
+/// Guarantees: connected, simple, δ >= 2; beta = 0 is the exact ring
+/// lattice (2k-regular).
+[[nodiscard]] Graph make_watts_strogatz(std::size_t n, std::size_t k,
+                                        double beta, Rng& rng);
+
+/// Random geometric graph: n uniform points in the unit square, an edge
+/// wherever the Euclidean distance is <= radius. Connectivity is NOT
+/// guaranteed (isolated vertices appear below the connectivity threshold
+/// radius ~ sqrt(ln n / (pi n))); use make_random_geometric_connected when
+/// the experiment needs one component.
+/// Guarantees: simple; edge {u, v} if and only if dist(u, v) <= radius.
+struct GeometricGraph {
+  Graph graph;
+  std::vector<std::array<double, 2>> points;  ///< index -> (x, y)
+};
+[[nodiscard]] GeometricGraph make_random_geometric(std::size_t n,
+                                                   double radius, Rng& rng);
+
+/// Random geometric graph patched to one component: after the radius pass,
+/// the closest inter-component point pair is bridged until the graph is
+/// connected (deterministic given the points).
+/// Guarantees: connected, simple; the edge set is a superset of
+/// make_random_geometric on the same points.
+[[nodiscard]] GeometricGraph make_random_geometric_connected(std::size_t n,
+                                                             double radius,
+                                                             Rng& rng);
 
 // --- lower-bound families (paper Figures 1-3) -------------------------------
 

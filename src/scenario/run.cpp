@@ -1,0 +1,197 @@
+#include "scenario/run.hpp"
+
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "baselines/gather.hpp"
+#include "baselines/random_walk.hpp"
+#include "core/main_rendezvous.hpp"
+#include "core/no_whiteboard.hpp"
+#include "sim/scheduler.hpp"
+
+namespace fnr::scenario {
+
+const char* to_string(Program program) noexcept {
+  switch (program) {
+    case Program::Whiteboard: return "whiteboard";
+    case Program::WhiteboardDoubling: return "whiteboard+doubling";
+    case Program::NoWhiteboard: return "no-whiteboard";
+    case Program::RandomWalk: return "random-walk";
+    case Program::ExploreRally: return "explore-rally";
+  }
+  return "?";
+}
+
+const std::vector<Program>& all_programs() {
+  static const std::vector<Program> programs = {
+      Program::Whiteboard, Program::WhiteboardDoubling, Program::NoWhiteboard,
+      Program::RandomWalk, Program::ExploreRally};
+  return programs;
+}
+
+std::string ScenarioReport::describe() const {
+  std::ostringstream os;
+  os << run.describe() << " (cap " << round_cap << ")";
+  return os.str();
+}
+
+namespace {
+
+[[nodiscard]] core::Strategy core_strategy(Program program) {
+  switch (program) {
+    case Program::Whiteboard: return core::Strategy::Whiteboard;
+    case Program::WhiteboardDoubling: return core::Strategy::WhiteboardDoubling;
+    case Program::NoWhiteboard: return core::Strategy::NoWhiteboard;
+    case Program::RandomWalk:
+    case Program::ExploreRally: break;
+  }
+  FNR_CHECK_MSG(false, "program has no core::Strategy counterpart");
+  throw std::logic_error("unreachable");
+}
+
+[[nodiscard]] sim::Model model_for(Program program) {
+  return program == Program::NoWhiteboard ? sim::Model::no_whiteboards()
+                                          : sim::Model::full();
+}
+
+/// Builds the k agents for `program` (index 0 = a-program). Each agent gets
+/// its own split stream in index order.
+[[nodiscard]] std::vector<std::unique_ptr<sim::Agent>> build_agents(
+    Program program, std::size_t k, const graph::Graph& g,
+    const core::Params& params, Rng& seed_rng) {
+  const double delta = static_cast<double>(g.min_degree());
+  std::vector<std::unique_ptr<sim::Agent>> agents;
+  agents.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    Rng rng = seed_rng.split();
+    switch (program) {
+      case Program::Whiteboard:
+      case Program::WhiteboardDoubling: {
+        const double known_delta =
+            program == Program::WhiteboardDoubling ? -1.0 : delta;
+        if (i == 0) {
+          agents.push_back(
+              std::make_unique<core::WhiteboardAgentA>(params, known_delta,
+                                                       rng));
+        } else {
+          agents.push_back(std::make_unique<core::WhiteboardAgentB>(rng));
+        }
+        break;
+      }
+      case Program::NoWhiteboard: {
+        if (i == 0) {
+          agents.push_back(
+              std::make_unique<core::NoWhiteboardAgentA>(params, delta, rng));
+        } else {
+          agents.push_back(
+              std::make_unique<core::NoWhiteboardAgentB>(params, delta, rng));
+        }
+        break;
+      }
+      case Program::RandomWalk:
+        agents.push_back(std::make_unique<baselines::RandomWalkAgent>(rng));
+        break;
+      case Program::ExploreRally:
+        agents.push_back(std::make_unique<baselines::GatherAtMinAgent>());
+        break;
+    }
+  }
+  return agents;
+}
+
+}  // namespace
+
+std::uint64_t auto_round_cap(const graph::Graph& g, const Scenario& scenario,
+                             Program program, const core::Params& params) {
+  std::uint64_t cap = 0;
+  if (program == Program::RandomWalk) {
+    // Two independent lazy walks meet in O~(n) on the dense families and
+    // O(n log n)-ish on tori/small worlds; a wide log-linear budget keeps
+    // failures meaningful without unbounded trials.
+    const auto n = static_cast<double>(g.num_vertices());
+    cap = static_cast<std::uint64_t>(32.0 * n * (std::log2(n) + 1.0)) + 1024;
+  } else if (program == Program::ExploreRally) {
+    // DFS walk <= 2(n-1) moves plus a rally route <= diameter < n.
+    cap = 4 * static_cast<std::uint64_t>(g.num_vertices()) + 1024;
+  } else {
+    cap = core::auto_round_cap(g, core_strategy(program), params);
+  }
+  // Gathering everyone is a sequence of pairwise coalescences.
+  if (scenario.gathering == sim::Gathering::All)
+    cap *= static_cast<std::uint64_t>(scenario.num_agents - 1);
+  // Sleeping rounds are dead rounds; extend the budget by the bound.
+  return cap + scenario.max_delay;
+}
+
+ScenarioReport run_scenario(const Scenario& scenario, Program program,
+                            const graph::Graph& g,
+                            const sim::ScenarioPlacement& placement,
+                            const ScenarioOptions& options) {
+  scenario.validate();
+  FNR_CHECK_MSG(placement.num_agents() == scenario.num_agents,
+                "placement has " << placement.num_agents()
+                                 << " starts for a " << scenario.num_agents
+                                 << "-agent scenario");
+  FNR_CHECK_MSG(g.min_degree() >= 1, "graph must have no isolated vertices");
+  if (program == Program::NoWhiteboard) {
+    FNR_CHECK_MSG(g.tight_ids(),
+                  "Theorem 2 requires tight naming (n' = O(n))");
+  }
+
+  ScenarioReport report;
+  report.round_cap =
+      options.max_rounds > 0
+          ? options.max_rounds
+          : auto_round_cap(g, scenario, program, options.params);
+
+  Rng seed_rng(options.seed);
+  auto agents = build_agents(program, scenario.num_agents, g, options.params,
+                             seed_rng);
+  std::vector<sim::Agent*> pointers;
+  pointers.reserve(agents.size());
+  for (const auto& agent : agents) pointers.push_back(agent.get());
+
+  sim::Scheduler scheduler(g, model_for(program));
+  report.run = scheduler.run_scenario(pointers, placement, scenario.gathering,
+                                      report.round_cap);
+  return report;
+}
+
+runner::TrialOutcome to_outcome(std::uint64_t trial, std::uint64_t seed,
+                                const sim::ScenarioRunResult& run) {
+  runner::TrialOutcome out;
+  out.trial = trial;
+  out.seed = seed;
+  out.met = run.met;
+  out.meeting_round = run.meeting_round;
+  out.rounds = run.rounds;
+  out.moves_a = run.agents.empty() ? 0 : run.agents[0].moves;
+  out.moves_b = 0;
+  for (std::size_t i = 1; i < run.agents.size(); ++i)
+    out.moves_b += run.agents[i].moves;
+  out.whiteboard_marks = run.whiteboard_writes;
+  return out;
+}
+
+runner::TrialAccumulator run_scenario_trials(
+    const Scenario& scenario, Program program, const graph::Graph& g,
+    const ScenarioOptions& options, std::uint64_t n_trials,
+    const runner::TrialRunner& trial_runner) {
+  return trial_runner.run(
+      n_trials, options.seed, [&](std::uint64_t trial, std::uint64_t seed) {
+        // Stream 11 draws the instance; the agents split their own streams
+        // from the bare seed inside run_scenario. Both derive only from the
+        // per-trial split seed — bit-identical across thread counts.
+        Rng instance_rng(seed, /*stream=*/11);
+        const auto placement = draw_instance(scenario, g, instance_rng);
+        ScenarioOptions trial_options = options;
+        trial_options.seed = seed;
+        const auto report =
+            run_scenario(scenario, program, g, placement, trial_options);
+        return to_outcome(trial, seed, report.run);
+      });
+}
+
+}  // namespace fnr::scenario

@@ -1,0 +1,90 @@
+// Scenario execution: strategy programs lifted to k agents, wired through
+// the Scheduler's scenario engine and the parallel TrialRunner.
+//
+// The paper's asymmetric role split carries over: agent 0 runs the
+// a-program (seeker), agents 1..k-1 run the b-program (markers / waiters).
+// For symmetric programs (random walk) every agent runs the same code.
+// Strategies are expected to *tolerate* desynchronized peers — a sleeping
+// partner just means probes find no marks yet — but their guarantees are
+// only proved for the synchronous two-agent instance; measuring how far
+// each degrades under delay and crowding is the point of the scenario
+// benches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/params.hpp"
+#include "core/rendezvous.hpp"
+#include "runner/trial_runner.hpp"
+#include "scenario/scenario.hpp"
+#include "sim/metrics.hpp"
+
+namespace fnr::scenario {
+
+/// The per-agent program family a scenario runs. Extends core::Strategy
+/// with baselines that stay meaningful for k agents and non-adjacent
+/// placements.
+enum class Program {
+  Whiteboard,          ///< Theorem 1 roles: one seeker, k-1 markers
+  WhiteboardDoubling,  ///< same with δ estimated by doubling
+  NoWhiteboard,        ///< Theorem 2 roles (tight naming required)
+  RandomWalk,          ///< every agent an independent lazy random walk
+  ExploreRally,        ///< DFS the graph, rally at the minimum vertex ID —
+                       ///< the coordination that makes Gathering::All
+                       ///< reachable (O(n) rounds, deterministic)
+};
+
+[[nodiscard]] const char* to_string(Program program) noexcept;
+
+/// All programs, in a stable sweep order.
+[[nodiscard]] const std::vector<Program>& all_programs();
+
+struct ScenarioOptions {
+  core::Params params = core::Params::practical();
+  /// Seed for placement-independent agent randomness (streams are split per
+  /// agent in index order).
+  std::uint64_t seed = 1;
+  /// 0 → auto cap (strategy cap plus the scenario's delay bound).
+  std::uint64_t max_rounds = 0;
+};
+
+struct ScenarioReport {
+  sim::ScenarioRunResult run;
+  std::uint64_t round_cap = 0;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Generous failure cap for `program` under `scenario` on this graph.
+[[nodiscard]] std::uint64_t auto_round_cap(const graph::Graph& g,
+                                           const Scenario& scenario,
+                                           Program program,
+                                           const core::Params& params);
+
+/// Runs one concrete instance (starts + delays drawn elsewhere, e.g. via
+/// draw_instance). Throws CheckError when the graph/model cannot satisfy
+/// the program's assumptions (e.g. NoWhiteboard without tight naming).
+[[nodiscard]] ScenarioReport run_scenario(const Scenario& scenario,
+                                          Program program,
+                                          const graph::Graph& g,
+                                          const sim::ScenarioPlacement& placement,
+                                          const ScenarioOptions& options);
+
+/// Lifts a scenario run into the accumulator's outcome shape: moves_a is
+/// agent 0's moves, moves_b sums agents 1..k-1, whiteboard_marks is the
+/// run's total whiteboard writes (markers are the only writers).
+[[nodiscard]] runner::TrialOutcome to_outcome(
+    std::uint64_t trial, std::uint64_t seed,
+    const sim::ScenarioRunResult& run);
+
+/// Batch entry point: n_trials independent instances of (scenario, program)
+/// through the parallel TrialRunner. Trial t draws its placement, delays,
+/// and agent randomness from the split seed trial_seed(options.seed, t), so
+/// the aggregate is bit-identical no matter how many threads ran the batch.
+[[nodiscard]] runner::TrialAccumulator run_scenario_trials(
+    const Scenario& scenario, Program program, const graph::Graph& g,
+    const ScenarioOptions& options, std::uint64_t n_trials,
+    const runner::TrialRunner& trial_runner);
+
+}  // namespace fnr::scenario

@@ -4,6 +4,7 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "graph/graph.hpp"
 #include "sim/model.hpp"
@@ -31,6 +32,38 @@ struct RunResult {
   std::uint64_t meeting_round = 0;
   graph::VertexIndex meeting_vertex = graph::kNoVertex;
   Metrics metrics;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Per-agent measurements of a k-agent scenario run.
+struct AgentRunStats {
+  std::uint64_t wake_delay = 0;  ///< rounds the agent slept before starting
+  std::uint64_t moves = 0;       ///< edge traversals
+  std::size_t peak_memory_words = 0;
+};
+
+/// Outcome of one k-agent scenario run (Scheduler::run_scenario). The
+/// two-agent RunResult is the k=2 projection (see to_run_result).
+struct ScenarioRunResult {
+  bool met = false;
+  /// Round at which the gathering predicate first held (beginning-of-round
+  /// convention, as in the two-agent case); only meaningful when met.
+  std::uint64_t meeting_round = 0;
+  graph::VertexIndex meeting_vertex = graph::kNoVertex;
+  /// Lexicographically first co-located pair of agent indices when met
+  /// (0 and k-1 under Gathering::All, where everyone is co-located).
+  std::size_t meeting_agent_a = 0;
+  std::size_t meeting_agent_b = 0;
+  std::uint64_t rounds = 0;  ///< rounds executed before gathering/cap
+  std::uint64_t whiteboard_reads = 0;
+  std::uint64_t whiteboard_writes = 0;
+  std::size_t whiteboards_used = 0;
+  std::vector<AgentRunStats> agents;  ///< size k, indexed by agent
+
+  /// Projects a k=2 scenario result onto the classic two-agent RunResult.
+  /// Requires agents.size() == 2.
+  [[nodiscard]] RunResult to_run_result() const;
 
   [[nodiscard]] std::string describe() const;
 };

@@ -34,11 +34,23 @@ struct Model {
 };
 
 /// The two agents; the paper names them a and b and allows them to run
-/// different programs (asymmetric algorithms).
+/// different programs (asymmetric algorithms). k-agent scenarios reuse the
+/// same roles: agent 0 runs the a-program, agents 1..k-1 the b-program.
 enum class AgentName { A, B };
 
 [[nodiscard]] constexpr const char* to_string(AgentName name) noexcept {
   return name == AgentName::A ? "a" : "b";
+}
+
+/// When a k-agent scenario counts as gathered (evaluated at the beginning of
+/// each round, like the paper's two-agent meeting convention).
+enum class Gathering {
+  AnyPair,  ///< some two agents co-located (the paper's k=2 rendezvous)
+  All,      ///< every agent on one vertex (multi-agent gathering)
+};
+
+[[nodiscard]] constexpr const char* to_string(Gathering gathering) noexcept {
+  return gathering == Gathering::AnyPair ? "any-pair" : "all-meet";
 }
 
 }  // namespace fnr::sim

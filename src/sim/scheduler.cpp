@@ -1,10 +1,40 @@
 #include "sim/scheduler.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "util/log.hpp"
 
 namespace fnr::sim {
+
+namespace {
+
+/// Evaluates the gathering predicate over agent positions. On success fills
+/// the lexicographically first co-located pair (under All that is (0, k-1):
+/// every agent shares one vertex).
+bool gathered(const std::vector<graph::VertexIndex>& pos, Gathering gathering,
+              std::size_t& pair_a, std::size_t& pair_b) {
+  switch (gathering) {
+    case Gathering::AnyPair:
+      for (std::size_t i = 0; i < pos.size(); ++i)
+        for (std::size_t j = i + 1; j < pos.size(); ++j)
+          if (pos[i] == pos[j]) {
+            pair_a = i;
+            pair_b = j;
+            return true;
+          }
+      return false;
+    case Gathering::All:
+      for (std::size_t i = 1; i < pos.size(); ++i)
+        if (pos[i] != pos[0]) return false;
+      pair_a = 0;
+      pair_b = pos.size() - 1;
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
 
 Placement random_adjacent_placement(const graph::Graph& g, Rng& rng) {
   FNR_CHECK_MSG(g.num_edges() > 0, "graph has no edges to place agents on");
@@ -19,35 +49,66 @@ Scheduler::Scheduler(const graph::Graph& g, Model model)
 
 RunResult Scheduler::run(Agent& agent_a, Agent& agent_b, Placement placement,
                          std::uint64_t max_rounds) {
-  FNR_CHECK(placement.a_start < graph_.num_vertices());
-  FNR_CHECK(placement.b_start < graph_.num_vertices());
-  FNR_CHECK_MSG(placement.a_start != placement.b_start,
-                "agents must start at distinct vertices");
+  ScenarioPlacement scenario_placement;
+  scenario_placement.starts = {placement.a_start, placement.b_start};
+  return run_scenario({&agent_a, &agent_b}, scenario_placement,
+                      Gathering::AnyPair, max_rounds)
+      .to_run_result();
+}
+
+ScenarioRunResult Scheduler::run_scenario(const std::vector<Agent*>& agents,
+                                          const ScenarioPlacement& placement,
+                                          Gathering gathering,
+                                          std::uint64_t max_rounds) {
+  const std::size_t k = agents.size();
+  FNR_CHECK_MSG(k >= 2, "a scenario needs at least two agents, got " << k);
+  FNR_CHECK_MSG(placement.starts.size() == k,
+                "placement has " << placement.starts.size() << " starts for "
+                                 << k << " agents");
+  FNR_CHECK_MSG(
+      placement.wake_delays.empty() || placement.wake_delays.size() == k,
+      "wake_delays must be empty or one per agent");
+  for (std::size_t i = 0; i < k; ++i) {
+    FNR_CHECK(agents[i] != nullptr);
+    FNR_CHECK(placement.starts[i] < graph_.num_vertices());
+    for (std::size_t j = i + 1; j < k; ++j)
+      FNR_CHECK_MSG(placement.starts[i] != placement.starts[j],
+                    "agents must start at distinct vertices");
+  }
   boards_.clear_all();
 
-  RunResult result;
-  graph::VertexIndex pos[2] = {placement.a_start, placement.b_start};
-  std::optional<std::size_t> arrival_port[2];
-  Agent* agents[2] = {&agent_a, &agent_b};
+  ScenarioRunResult result;
+  result.agents.resize(k);
+  for (std::size_t i = 0; i < k; ++i)
+    result.agents[i].wake_delay = placement.delay_of(i);
+
+  std::vector<graph::VertexIndex> pos = placement.starts;
+  std::vector<std::optional<std::size_t>> arrival_port(k);
+  std::vector<Action> actions(k);
 
   const std::uint64_t wb_reads0 = boards_.reads();
   const std::uint64_t wb_writes0 = boards_.writes();
 
   for (std::uint64_t round = 0; round <= max_rounds; ++round) {
-    if (pos[0] == pos[1]) {
+    if (gathered(pos, gathering, result.meeting_agent_a,
+                 result.meeting_agent_b)) {
       result.met = true;
       result.meeting_round = round;
-      result.meeting_vertex = pos[0];
+      result.meeting_vertex = pos[result.meeting_agent_a];
       break;
     }
-    if (round == max_rounds) break;  // budget exhausted without meeting
-    result.metrics.rounds = round + 1;
+    if (round == max_rounds) break;  // budget exhausted without gathering
+    result.rounds = round + 1;
 
-    Action actions[2];
-    for (int i = 0; i < 2; ++i) {
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::uint64_t delay = placement.delay_of(i);
+      if (round < delay) {
+        actions[i] = Action::stay();  // asleep: present but inert
+        continue;
+      }
       View view;
       view.agent_ = i == 0 ? AgentName::A : AgentName::B;
-      view.round_ = round;
+      view.round_ = round - delay;  // the agent's local clock
       view.here_index_ = pos[i];
       view.here_id_ = graph_.id_of(pos[i]);
       view.degree_ = graph_.degree(pos[i]);
@@ -58,14 +119,16 @@ RunResult Scheduler::run(Agent& agent_a, Agent& agent_b, Placement placement,
       view.boards_ = model_.whiteboards ? &boards_ : nullptr;
       view.arrival_port_ = arrival_port[i];
       actions[i] = agents[i]->step(view);
-      result.metrics.peak_memory_words[i] = std::max(
-          result.metrics.peak_memory_words[i], agents[i]->memory_words());
+      result.agents[i].peak_memory_words = std::max(
+          result.agents[i].peak_memory_words, agents[i]->memory_words());
     }
 
     // Whiteboard writes happen at the agents' current vertices before the
-    // simultaneous movement. (Both agents writing the same board would mean
-    // they are co-located, which ends the run above, so order is moot.)
-    for (int i = 0; i < 2; ++i) {
+    // simultaneous movement. Under Gathering::All two co-located agents may
+    // both write one board in the same round; writes apply in agent-index
+    // order, so the highest-indexed writer wins (deterministic). Under
+    // AnyPair co-location ends the run above, so the order is moot.
+    for (std::size_t i = 0; i < k; ++i) {
       if (actions[i].whiteboard_write.has_value()) {
         FNR_CHECK_MSG(model_.whiteboards,
                       "agent wrote a whiteboard in a whiteboard-free model");
@@ -73,7 +136,7 @@ RunResult Scheduler::run(Agent& agent_a, Agent& agent_b, Placement placement,
       }
     }
 
-    for (int i = 0; i < 2; ++i) {
+    for (std::size_t i = 0; i < k; ++i) {
       const std::size_t port = actions[i].move_port;
       if (port == Action::kStay) {
         arrival_port[i].reset();
@@ -82,14 +145,14 @@ RunResult Scheduler::run(Agent& agent_a, Agent& agent_b, Placement placement,
       const graph::VertexIndex from = pos[i];
       pos[i] = graph_.neighbor_at_port(from, port);
       arrival_port[i] = graph_.port_to(pos[i], from);
-      ++result.metrics.moves[i];
+      ++result.agents[i].moves;
     }
   }
 
-  result.metrics.whiteboard_reads = boards_.reads() - wb_reads0;
-  result.metrics.whiteboard_writes = boards_.writes() - wb_writes0;
-  result.metrics.whiteboards_used = boards_.used_boards();
-  FNR_TRACE("run finished: " << result.describe());
+  result.whiteboard_reads = boards_.reads() - wb_reads0;
+  result.whiteboard_writes = boards_.writes() - wb_writes0;
+  result.whiteboards_used = boards_.used_boards();
+  FNR_TRACE("scenario finished: " << result.describe());
   return result;
 }
 

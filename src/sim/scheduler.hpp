@@ -1,15 +1,27 @@
-// Synchronous execution of two agents on a graph (paper §2.1-2.2).
+// Synchronous execution of k >= 2 agents on a graph (paper §2.1-2.2,
+// generalized into a scenario engine).
 //
-// Round structure: at the beginning of each round, if both agents occupy the
-// same vertex, rendezvous is complete (they detect each other and halt).
-// Otherwise each agent observes its View, returns an Action (optional
-// whiteboard write at its current vertex, then stay/move), and both actions
-// are applied simultaneously. Note the paper's convention means agents that
-// *cross* on an edge do not meet — only co-location at a round boundary
-// counts.
+// Round structure: at the beginning of each round the gathering predicate is
+// evaluated over agent positions (any-pair co-location for the paper's
+// two-agent rendezvous, all-meet for multi-agent gathering); if it holds the
+// run is complete. Otherwise each awake agent observes its View, returns an
+// Action (optional whiteboard write at its current vertex, then stay/move),
+// and all actions are applied simultaneously. Note the paper's convention
+// means agents that *cross* on an edge do not meet — only co-location at a
+// round boundary counts.
+//
+// Delayed start: each agent may carry a wake delay (rounds it sleeps at its
+// start vertex before its program runs). A sleeping agent is physically
+// present — co-location with it counts toward the gathering predicate — but
+// it neither observes nor acts, and its View's round counter is local (it
+// reads 0 on the agent's first awake round), so programs that schedule
+// against view.round() run unmodified on their own clock. A k=2, zero-delay
+// scenario is exactly the paper's synchronous two-agent model, and
+// Scheduler::run is that projection.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "graph/graph.hpp"
 #include "sim/metrics.hpp"
@@ -31,14 +43,41 @@ struct Placement {
 [[nodiscard]] Placement random_adjacent_placement(const graph::Graph& g,
                                                   Rng& rng);
 
+/// Initial placement of a k-agent scenario: k pairwise-distinct start
+/// vertices plus per-agent wake delays (empty = everyone wakes at round 0).
+/// Delays are normalized by convention: time starts when the first agent
+/// wakes, so at least one delay should be 0 (not enforced — an all-delayed
+/// placement just prepends dead rounds).
+struct ScenarioPlacement {
+  std::vector<graph::VertexIndex> starts;
+  std::vector<std::uint64_t> wake_delays;  ///< size starts.size() or empty
+
+  [[nodiscard]] std::size_t num_agents() const noexcept {
+    return starts.size();
+  }
+  [[nodiscard]] std::uint64_t delay_of(std::size_t agent) const noexcept {
+    return agent < wake_delays.size() ? wake_delays[agent] : 0;
+  }
+};
+
 class Scheduler {
  public:
   Scheduler(const graph::Graph& g, Model model);
 
   /// Runs agents from `placement` for at most `max_rounds` rounds.
   /// Agents must be freshly constructed (they carry run state).
+  /// Exactly the k=2, zero-delay, any-pair projection of run_scenario.
   [[nodiscard]] RunResult run(Agent& agent_a, Agent& agent_b,
                               Placement placement, std::uint64_t max_rounds);
+
+  /// Runs a k-agent scenario: agents[i] starts (asleep for
+  /// placement.delay_of(i) rounds) on placement.starts[i]; the run ends when
+  /// `gathering` holds at a round boundary or after `max_rounds` rounds.
+  /// Agent 0 is named a, agents 1..k-1 are named b (the paper's asymmetric
+  /// role split). Agents must be freshly constructed.
+  [[nodiscard]] ScenarioRunResult run_scenario(
+      const std::vector<Agent*>& agents, const ScenarioPlacement& placement,
+      Gathering gathering, std::uint64_t max_rounds);
 
   /// Runs a single agent (as agent a) until it reports halted() or the cap.
   /// Used for exploration measurements and for exercising sub-protocols

@@ -3,6 +3,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "core/rendezvous.hpp"
@@ -13,6 +14,13 @@
 #include "util/rng.hpp"
 
 namespace fnr::test {
+
+/// Byte-level aggregate equality — "bit-identical" is the contract the
+/// runner and scenario determinism tests assert.
+inline bool bits_equal(const runner::TrialAggregate& x,
+                       const runner::TrialAggregate& y) {
+  return std::memcmp(&x, &y, sizeof(runner::TrialAggregate)) == 0;
+}
 
 /// A dense near-regular graph satisfying Theorem 1's δ ≥ √n comfortably.
 inline graph::Graph dense_graph(std::size_t n, std::uint64_t seed,

@@ -1,0 +1,190 @@
+// TrialAccumulator emission round-trips and merge robustness.
+//
+// CSV and JSON rows are consumed by scripts and dashboards; this suite
+// parses exactly what we emit and checks every field against the aggregate
+// it came from (integers exactly, doubles to the emitted precision). The
+// merge fuzz partitions one outcome multiset at random many times and
+// checks that any grouping and insertion order produces a bit-identical
+// aggregate.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "test_support.hpp"
+
+namespace fnr::runner {
+namespace {
+
+using test::bits_equal;
+
+TrialOutcome synthetic_outcome(std::uint64_t trial, std::uint64_t seed) {
+  TrialOutcome out;
+  out.trial = trial;
+  out.seed = seed;
+  out.met = seed % 5 != 0;
+  out.meeting_round = out.met ? (seed % 977) + 1 : 0;
+  out.rounds = out.met ? out.meeting_round : 4096;
+  out.moves_a = seed % 131;
+  out.moves_b = seed % 149;
+  out.whiteboard_marks = seed % 11;
+  return out;
+}
+
+TrialAggregate sample_aggregate(std::uint64_t base_seed, std::uint64_t n) {
+  TrialAccumulator acc;
+  for (std::uint64_t t = 0; t < n; ++t)
+    acc.add(synthetic_outcome(t, trial_seed(base_seed, t)));
+  return acc.aggregate();
+}
+
+std::vector<std::string> split_csv(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  for (const char c : line) {
+    if (c == ',') {
+      fields.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  fields.push_back(current);
+  return fields;
+}
+
+/// Extracts the number following "key": in a flat JSON fragment.
+double json_number(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = json.find(needle);
+  EXPECT_NE(pos, std::string::npos) << "missing key " << key;
+  if (pos == std::string::npos) return 0.0;
+  return std::strtod(json.c_str() + pos + needle.size(), nullptr);
+}
+
+TEST(TrialIoRoundtrip, CsvRowParsesBackToTheAggregate) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto agg = sample_aggregate(seed, 40 + seed);
+    const auto header = split_csv(TrialAggregate::csv_header());
+    const auto row = split_csv(agg.to_csv_row("cell_x"));
+    ASSERT_EQ(header.size(), row.size());
+    ASSERT_EQ(header.front(), "label");
+    EXPECT_EQ(row.front(), "cell_x");
+    // Parse every numeric field by header name and compare to the source
+    // (integers exactly; doubles to the 2/4-decimal emitted precision).
+    for (std::size_t i = 1; i < header.size(); ++i) {
+      const double value = std::strtod(row[i].c_str(), nullptr);
+      const auto& name = header[i];
+      if (name == "trials") {
+        EXPECT_EQ(value, static_cast<double>(agg.trials));
+      } else if (name == "successes") {
+        EXPECT_EQ(value, static_cast<double>(agg.successes));
+      } else if (name == "failures") {
+        EXPECT_EQ(value, static_cast<double>(agg.failures));
+      } else if (name == "success_rate") {
+        EXPECT_NEAR(value, agg.success_rate, 5e-5);
+      } else if (name == "rounds_mean") {
+        EXPECT_NEAR(value, agg.rounds.mean, 5e-3);
+      } else if (name == "rounds_median") {
+        EXPECT_NEAR(value, agg.rounds.median, 5e-3);
+      } else if (name == "rounds_p90") {
+        EXPECT_NEAR(value, agg.rounds.p90, 5e-3);
+      } else if (name == "rounds_p95") {
+        EXPECT_NEAR(value, agg.rounds.p95, 5e-3);
+      } else if (name == "rounds_min") {
+        EXPECT_NEAR(value, agg.rounds.min, 5e-3);
+      } else if (name == "rounds_max") {
+        EXPECT_NEAR(value, agg.rounds.max, 5e-3);
+      } else if (name == "total_marks") {
+        EXPECT_EQ(value, static_cast<double>(agg.total_marks));
+      } else if (name == "mean_marks") {
+        EXPECT_NEAR(value, agg.mean_marks, 5e-3);
+      } else if (name == "mean_moves_a") {
+        EXPECT_NEAR(value, agg.mean_moves_a, 5e-3);
+      } else if (name == "mean_moves_b") {
+        EXPECT_NEAR(value, agg.mean_moves_b, 5e-3);
+      } else {
+        ADD_FAILURE() << "csv_header grew an untested column: " << name;
+      }
+    }
+  }
+}
+
+TEST(TrialIoRoundtrip, JsonParsesBackToTheAggregate) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto agg = sample_aggregate(seed * 31, 25 + seed);
+    const auto json = agg.to_json();
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+    EXPECT_EQ(json_number(json, "trials"), static_cast<double>(agg.trials));
+    EXPECT_EQ(json_number(json, "successes"),
+              static_cast<double>(agg.successes));
+    EXPECT_EQ(json_number(json, "failures"),
+              static_cast<double>(agg.failures));
+    EXPECT_NEAR(json_number(json, "success_rate"), agg.success_rate, 5e-5);
+    EXPECT_NEAR(json_number(json, "mean"), agg.rounds.mean, 5e-3);
+    EXPECT_NEAR(json_number(json, "median"), agg.rounds.median, 5e-3);
+    EXPECT_NEAR(json_number(json, "p90"), agg.rounds.p90, 5e-3);
+    EXPECT_NEAR(json_number(json, "p95"), agg.rounds.p95, 5e-3);
+    EXPECT_NEAR(json_number(json, "min"), agg.rounds.min, 5e-3);
+    EXPECT_NEAR(json_number(json, "max"), agg.rounds.max, 5e-3);
+    EXPECT_EQ(json_number(json, "total_marks"),
+              static_cast<double>(agg.total_marks));
+    EXPECT_NEAR(json_number(json, "mean_marks"), agg.mean_marks, 5e-3);
+    EXPECT_NEAR(json_number(json, "mean_moves_a"), agg.mean_moves_a, 5e-3);
+    EXPECT_NEAR(json_number(json, "mean_moves_b"), agg.mean_moves_b, 5e-3);
+  }
+}
+
+TEST(TrialIoRoundtrip, MergeFuzzAcrossRandomPartitions) {
+  // One multiset of outcomes; many random partitions, shuffled insertion
+  // orders, and fold orders — every grouping must aggregate bit-identically.
+  constexpr std::uint64_t kOutcomes = 64;
+  std::vector<TrialOutcome> outcomes;
+  for (std::uint64_t t = 0; t < kOutcomes; ++t)
+    outcomes.push_back(synthetic_outcome(t, trial_seed(1234, t)));
+  TrialAccumulator reference;
+  for (const auto& out : outcomes) reference.add(out);
+  const auto reference_agg = reference.aggregate();
+
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    Rng rng(seed, 99);
+    const std::size_t parts = 1 + rng.below(7);
+    std::vector<TrialAccumulator> buckets(parts);
+    // Assign outcomes to buckets at random, inserting in shuffled order.
+    std::vector<std::size_t> order(kOutcomes);
+    for (std::size_t i = 0; i < kOutcomes; ++i) order[i] = i;
+    shuffle(order, rng);
+    for (const auto i : order) buckets[rng.below(parts)].add(outcomes[i]);
+
+    // Fold the buckets together in a random order.
+    std::vector<std::size_t> fold(parts);
+    for (std::size_t i = 0; i < parts; ++i) fold[i] = i;
+    shuffle(fold, rng);
+    TrialAccumulator merged = buckets[fold[0]];
+    for (std::size_t i = 1; i < parts; ++i) merged.merge(buckets[fold[i]]);
+
+    EXPECT_EQ(merged.count(), kOutcomes);
+    EXPECT_TRUE(bits_equal(merged.aggregate(), reference_agg))
+        << "partition seed " << seed << " with " << parts << " buckets";
+
+    // And the associativity pattern ((A ∪ B) ∪ rest) vs (A ∪ (B ∪ rest)).
+    if (parts >= 3) {
+      TrialAccumulator left = buckets[0];
+      left.merge(buckets[1]);
+      for (std::size_t i = 2; i < parts; ++i) left.merge(buckets[i]);
+      TrialAccumulator tail = buckets[1];
+      for (std::size_t i = 2; i < parts; ++i) tail.merge(buckets[i]);
+      TrialAccumulator right = buckets[0];
+      right.merge(tail);
+      EXPECT_TRUE(bits_equal(left.aggregate(), right.aggregate()));
+      EXPECT_TRUE(bits_equal(left.aggregate(), reference_agg));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fnr::runner

@@ -2,7 +2,6 @@
 // thread counts, accumulator merge associativity, and edge cases.
 #include <gtest/gtest.h>
 
-#include <cstring>
 #include <stdexcept>
 
 #include "runner/trial_runner.hpp"
@@ -11,10 +10,7 @@
 namespace fnr::runner {
 namespace {
 
-/// Byte-level equality — "bit-identical" is the contract under test.
-bool bits_equal(const TrialAggregate& x, const TrialAggregate& y) {
-  return std::memcmp(&x, &y, sizeof(TrialAggregate)) == 0;
-}
+using test::bits_equal;
 
 TrialOutcome synthetic_outcome(std::uint64_t trial, std::uint64_t seed) {
   // A deterministic function of (trial, seed) with enough variety to make
