@@ -1,0 +1,84 @@
+// Perf-tracking bench: times rounds/sec and trials/sec across
+// strategy × topology cells and emits the schema-versioned BENCH_perf.json
+// report (see src/perf/perf_suite.hpp for the schema contract and
+// docs/PERFORMANCE.md for how to read it).
+//
+// Flags:
+//   --quick            smoke cells (CI); default is the full sweep
+//   --trials=N         per-cell trials (0 = mode default)
+//   --threads=N        trial-runner pool size (0 = hardware threads)
+//   --seed=N           base seed for every cell's batch
+//   --out=PATH         where to write the JSON report; default "auto" picks
+//                      BENCH_perf.json (full) / BENCH_perf_quick.json
+//                      (quick) so a quick run can never clobber the
+//                      committed full baseline; --out= (empty) skips writing
+//   --validate=PATH    parse + schema-validate an existing report and exit
+#include <iostream>
+
+#include "perf/perf_suite.hpp"
+#include "util/check.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fnr;
+  try {
+    Cli cli(argc, argv);
+    perf::PerfConfig config;
+    config.quick = cli.get_flag("quick");
+    const auto trials = cli.get_int("trials", 0);
+    FNR_CHECK_MSG(trials >= 0 && trials <= 100'000'000,
+                  "--trials must be in [0, 1e8], got " << trials);
+    config.trials = static_cast<std::uint64_t>(trials);
+    const auto threads = cli.get_int("threads", 0);
+    FNR_CHECK_MSG(threads >= 0 && threads <= 4096,
+                  "--threads must be in [0, 4096], got " << threads);
+    config.threads = static_cast<unsigned>(threads);
+    const auto seed = cli.get_int("seed", 7);
+    FNR_CHECK_MSG(seed >= 0, "--seed must be non-negative, got " << seed);
+    config.seed = static_cast<std::uint64_t>(seed);
+    std::string out = cli.get_string("out", "auto");
+    const std::string validate = cli.get_string("validate", "");
+    if (out == "auto")
+      out = config.quick ? "BENCH_perf_quick.json" : "BENCH_perf.json";
+    cli.reject_unknown();
+
+    if (!validate.empty()) {
+      const auto report = perf::read_report_file(validate);
+      perf::validate_report(report);
+      std::cout << "ok: " << validate << " conforms to "
+                << perf::schema_tag() << " (" << report.cells.size()
+                << " cells)\n";
+      return 0;
+    }
+
+    const auto report = perf::run_perf_suite(config);
+    perf::validate_report(report);
+
+    std::cout << "## Perf suite (" << report.schema << ", "
+              << (report.quick ? "quick" : "full") << " mode, "
+              << report.threads << " threads)\n\n";
+    Table table({"strategy", "topology", "n", "trials", "total rounds",
+                 "success", "seconds", "rounds/s", "trials/s"});
+    for (const auto& cell : report.cells) {
+      table.add_row({cell.strategy, cell.topology, std::to_string(cell.n),
+                     std::to_string(cell.trials),
+                     std::to_string(cell.total_rounds),
+                     format_double(cell.success_rate, 4),
+                     format_double(cell.seconds, 6),
+                     format_double(cell.rounds_per_sec, 2),
+                     format_double(cell.trials_per_sec, 2)});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+
+    if (!out.empty()) {
+      perf::write_report_file(report, out);
+      std::cout << "wrote " << out << "\n";
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "perf_suite: " << error.what() << "\n";
+    return 1;
+  }
+}

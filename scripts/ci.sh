@@ -28,3 +28,9 @@ cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]+"${CMAKE_ARGS[@]}"}"
 cmake --build "$BUILD_DIR" -j
 cd "$BUILD_DIR"
 ctest --output-on-failure -j
+
+# Perf-suite smoke: quick cells + schema validation. Timings are
+# informational only — the gate is that the suite runs and its JSON
+# conforms to the fnr-perf schema (see docs/PERFORMANCE.md).
+./perf_suite --quick --threads=2 --out=perf_smoke.json
+./perf_suite --validate=perf_smoke.json

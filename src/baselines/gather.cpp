@@ -20,6 +20,7 @@ void GatherAtMinAgent::on_idle(const sim::View& view) {
   if (!rallying_) {
     if (!adjacency_.contains(here)) {
       adjacency_[here] = view.neighbor_ids();
+      adjacency_words_ += 1 + view.neighbor_ids().size();
       min_seen_ = std::min(min_seen_, here);
     }
     // Resume this vertex's child scan where it left off (keeps the whole
@@ -77,10 +78,8 @@ std::vector<graph::VertexId> GatherAtMinAgent::route(graph::VertexId from,
 }
 
 std::size_t GatherAtMinAgent::memory_words() const {
-  std::size_t words = sim::ScriptedAgent::memory_words() + 4;
-  for (const auto& [v, nbrs] : adjacency_) words += 1 + nbrs.size();
-  words += 2 * parent_.size() + 2 * next_child_.size();
-  return words;
+  return sim::ScriptedAgent::memory_words() + 4 + adjacency_words_ +
+         2 * parent_.size() + 2 * next_child_.size();
 }
 
 }  // namespace fnr::baselines

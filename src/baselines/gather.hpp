@@ -44,6 +44,10 @@ class GatherAtMinAgent final : public sim::ScriptedAgent {
   bool arrived_ = false;
   graph::VertexId root_ = 0;
   graph::VertexId min_seen_ = 0;
+  // Words held by adjacency_, maintained on insert: the scheduler polls
+  // memory_words() every round, so recomputing it by walking the learned
+  // map would cost O(m) per round (O(nm) per run — it dominated E13).
+  std::size_t adjacency_words_ = 0;
   std::unordered_map<graph::VertexId, std::vector<graph::VertexId>> adjacency_;
   std::unordered_map<graph::VertexId, graph::VertexId> parent_;
   std::unordered_map<graph::VertexId, std::size_t> next_child_;

@@ -53,6 +53,14 @@ std::string RendezvousReport::describe() const {
 RendezvousReport run_rendezvous(const graph::Graph& g,
                                 sim::Placement placement,
                                 const RendezvousOptions& options) {
+  sim::SchedulerScratch scratch;
+  return run_rendezvous(g, placement, options, scratch);
+}
+
+RendezvousReport run_rendezvous(const graph::Graph& g,
+                                sim::Placement placement,
+                                const RendezvousOptions& options,
+                                sim::SchedulerScratch& scratch) {
   FNR_CHECK_MSG(g.min_degree() >= 1, "graph must have no isolated vertices");
   FNR_CHECK_MSG(
       graph::distance(g, placement.a_start, placement.b_start) == 1,
@@ -75,7 +83,8 @@ RendezvousReport run_rendezvous(const graph::Graph& g,
       report.delta_used = doubling ? -1.0 : delta;
       WhiteboardAgentA agent_a(options.params, report.delta_used, rng_a);
       WhiteboardAgentB agent_b(rng_b);
-      sim::Scheduler scheduler(g, sim::Model::full());
+      sim::Scheduler& scheduler =
+          scratch.scheduler_for(g, sim::Model::full());
       report.run =
           scheduler.run(agent_a, agent_b, placement, report.round_cap);
       report.agent_a = agent_a.stats();
@@ -89,7 +98,8 @@ RendezvousReport run_rendezvous(const graph::Graph& g,
       report.delta_used = delta;
       NoWhiteboardAgentA agent_a(options.params, delta, rng_a);
       NoWhiteboardAgentB agent_b(options.params, delta, rng_b);
-      sim::Scheduler scheduler(g, sim::Model::no_whiteboards());
+      sim::Scheduler& scheduler =
+          scratch.scheduler_for(g, sim::Model::no_whiteboards());
       report.run =
           scheduler.run(agent_a, agent_b, placement, report.round_cap);
       report.agent_a = agent_a.stats();
@@ -112,15 +122,18 @@ runner::TrialAccumulator run_trials(Strategy strategy, const graph::Graph& g,
                                     const RendezvousOptions& options,
                                     std::uint64_t n_trials,
                                     const runner::TrialRunner& trial_runner) {
-  return trial_runner.run(
+  // One SchedulerScratch per worker: trial 2..N on a worker reuse its warm
+  // arena, so the batch allocates no scheduler-side heap after warm-up.
+  return trial_runner.run_with_scratch<sim::SchedulerScratch>(
       n_trials, options.seed,
-      [&](std::uint64_t trial, std::uint64_t seed) {
+      [&](sim::SchedulerScratch& scratch, std::uint64_t trial,
+          std::uint64_t seed) {
         Rng placement_rng(seed, /*stream=*/3);
         const auto placement = sim::random_adjacent_placement(g, placement_rng);
         RendezvousOptions trial_options = options;
         trial_options.strategy = strategy;
         trial_options.seed = seed;
-        const auto report = run_rendezvous(g, placement, trial_options);
+        const auto report = run_rendezvous(g, placement, trial_options, scratch);
         return runner::TrialOutcome::from_run(trial, seed, report.run,
                                               report.agent_b_marks);
       });

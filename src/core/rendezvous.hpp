@@ -56,6 +56,15 @@ struct RendezvousReport {
                                               sim::Placement placement,
                                               const RendezvousOptions& options);
 
+/// Same, executing on the caller's scheduler scratch: batch loops pass one
+/// scratch per worker so every trial after the first reuses a warm arena
+/// (zero scheduler-side heap allocation; see docs/PERFORMANCE.md). Results
+/// are bit-identical to the scratch-free overload.
+[[nodiscard]] RendezvousReport run_rendezvous(const graph::Graph& g,
+                                              sim::Placement placement,
+                                              const RendezvousOptions& options,
+                                              sim::SchedulerScratch& scratch);
+
 /// Batch entry point: runs `n_trials` independent instances of `strategy`
 /// through the parallel TrialRunner. Each trial t derives its own RNG stream
 /// from (options.seed, t) — the seed split makes the aggregate bit-identical

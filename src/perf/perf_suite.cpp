@@ -1,0 +1,405 @@
+#include "perf/perf_suite.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string_view>
+#include <utility>
+
+#include "core/rendezvous.hpp"
+#include "graph/generators.hpp"
+#include "util/check.hpp"
+#include "util/table.hpp"
+
+namespace fnr::perf {
+
+std::string schema_tag() {
+  return "fnr-perf/" + std::to_string(kSchemaVersion);
+}
+
+namespace {
+
+/// The measured strategy sweep, in emission order.
+const std::vector<core::Strategy>& strategies() {
+  static const std::vector<core::Strategy> all = {
+      core::Strategy::Whiteboard, core::Strategy::WhiteboardDoubling,
+      core::Strategy::NoWhiteboard};
+  return all;
+}
+
+struct Topology {
+  std::string label;
+  std::uint64_t n;
+};
+
+/// Topology identities per mode. Graph construction is seeded by constants
+/// (never by config.seed), so the workload a cell names is the same for
+/// every report ever emitted at this schema version.
+std::vector<Topology> topologies(bool quick) {
+  if (quick) return {{"near-regular-64", 64}, {"torus-8x8", 64}};
+  return {{"near-regular-1024", 1024},
+          {"torus-32x32", 1024},
+          {"hypercube-10", 1024},
+          {"watts-strogatz-1024", 1024}};
+}
+
+graph::Graph build_topology(const std::string& label) {
+  if (label == "near-regular-64") {
+    Rng rng(4242, 911);
+    return graph::make_near_regular(64, 12, rng);
+  }
+  if (label == "torus-8x8") return graph::make_torus(8, 8);
+  if (label == "near-regular-1024") {
+    Rng rng(4242, 911);
+    return graph::make_near_regular(1024, 64, rng);
+  }
+  if (label == "torus-32x32") return graph::make_torus(32, 32);
+  if (label == "hypercube-10") return graph::make_hypercube(10);
+  if (label == "watts-strogatz-1024") {
+    Rng rng(4242, 913);
+    return graph::make_watts_strogatz(1024, 6, 0.1, rng);
+  }
+  FNR_CHECK_MSG(false, "unknown perf topology '" << label << "'");
+  throw std::logic_error("unreachable");
+}
+
+std::uint64_t trials_for(const PerfConfig& config) {
+  if (config.trials > 0) return config.trials;
+  return config.quick ? 8 : 256;
+}
+
+}  // namespace
+
+std::vector<PerfCellSpec> perf_cell_specs(const PerfConfig& config) {
+  const std::uint64_t trials = trials_for(config);
+  std::vector<PerfCellSpec> specs;
+  for (const auto strategy : strategies()) {
+    for (const auto& topology : topologies(config.quick)) {
+      specs.push_back(PerfCellSpec{core::to_string(strategy), topology.label,
+                                   topology.n, trials});
+    }
+  }
+  return specs;
+}
+
+namespace {
+
+/// Reverse of core::to_string over the measured strategy sweep.
+[[nodiscard]] core::Strategy strategy_named(const std::string& label) {
+  for (const auto strategy : strategies())
+    if (label == core::to_string(strategy)) return strategy;
+  FNR_CHECK_MSG(false, "unknown perf strategy '" << label << "'");
+  throw std::logic_error("unreachable");
+}
+
+}  // namespace
+
+PerfReport run_perf_suite(const PerfConfig& config) {
+  const runner::TrialRunner trial_runner(
+      runner::RunnerOptions{config.threads});
+
+  PerfReport report;
+  report.schema = schema_tag();
+  report.quick = config.quick;
+  report.threads = trial_runner.threads();
+  report.seed = config.seed;
+
+  // Build each topology once up front; the spec list then drives the loop,
+  // so the emitted cell order IS perf_cell_specs order by construction
+  // (one source of truth for the sweep).
+  std::vector<std::pair<std::string, graph::Graph>> graphs;
+  for (const auto& topology : topologies(config.quick))
+    graphs.emplace_back(topology.label, build_topology(topology.label));
+
+  for (const auto& spec : perf_cell_specs(config)) {
+    const auto graph_it =
+        std::find_if(graphs.begin(), graphs.end(),
+                     [&](const auto& entry) {
+                       return entry.first == spec.topology;
+                     });
+    FNR_CHECK(graph_it != graphs.end());
+    const graph::Graph& g = graph_it->second;
+
+    core::RendezvousOptions options;
+    options.seed = config.seed;
+
+    const auto start = std::chrono::steady_clock::now();
+    const auto acc = core::run_trials(strategy_named(spec.strategy), g,
+                                      options, spec.trials, trial_runner);
+    const auto stop = std::chrono::steady_clock::now();
+    const double seconds =
+        std::chrono::duration<double>(stop - start).count();
+
+    PerfCell cell;
+    cell.strategy = spec.strategy;
+    cell.topology = spec.topology;
+    cell.n = spec.n;
+    cell.trials = acc.count();
+    for (const auto& outcome : acc.sorted_outcomes())
+      cell.total_rounds += outcome.rounds;
+    cell.success_rate = acc.aggregate().success_rate;
+    cell.seconds = seconds;
+    // Degenerate timers (clock resolution) report 0 rather than inf.
+    cell.rounds_per_sec =
+        seconds > 0.0 ? static_cast<double>(cell.total_rounds) / seconds
+                      : 0.0;
+    cell.trials_per_sec =
+        seconds > 0.0 ? static_cast<double>(cell.trials) / seconds : 0.0;
+    report.cells.push_back(std::move(cell));
+  }
+  return report;
+}
+
+// --- JSON emission ----------------------------------------------------------
+
+std::string PerfReport::to_json() const {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"schema\": \"" << schema << "\",\n"
+     << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+     << "  \"threads\": " << threads << ",\n"
+     << "  \"seed\": " << seed << ",\n"
+     << "  \"cells\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto& c = cells[i];
+    os << "    {\"strategy\":\"" << c.strategy << "\",\"topology\":\""
+       << c.topology << "\",\"n\":" << c.n << ",\"trials\":" << c.trials
+       << ",\"total_rounds\":" << c.total_rounds
+       << ",\"success_rate\":" << format_double(c.success_rate, 4)
+       << ",\"seconds\":" << format_double(c.seconds, 6)
+       << ",\"rounds_per_sec\":" << format_double(c.rounds_per_sec, 2)
+       << ",\"trials_per_sec\":" << format_double(c.trials_per_sec, 2)
+       << "}" << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}";
+  return os.str();
+}
+
+// --- JSON parsing -----------------------------------------------------------
+
+namespace {
+
+/// Minimal recursive-descent cursor over the JSON subset to_json emits
+/// (objects, arrays, unescaped strings, plain numbers, booleans).
+class JsonCursor {
+ public:
+  explicit JsonCursor(const std::string& text)
+      : p_(text.data()), end_(text.data() + text.size()) {}
+
+  void skip_ws() {
+    while (p_ < end_ && (*p_ == ' ' || *p_ == '\n' || *p_ == '\t' ||
+                         *p_ == '\r'))
+      ++p_;
+  }
+
+  [[nodiscard]] bool peek_is(char c) {
+    skip_ws();
+    return p_ < end_ && *p_ == c;
+  }
+
+  void expect(char c) {
+    skip_ws();
+    FNR_CHECK_MSG(p_ < end_ && *p_ == c,
+                  "perf JSON: expected '" << c << "' with "
+                                          << (end_ - p_)
+                                          << " bytes left");
+    ++p_;
+  }
+
+  [[nodiscard]] bool consume(char c) {
+    skip_ws();
+    if (p_ < end_ && *p_ == c) {
+      ++p_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (p_ < end_ && *p_ != '"') {
+      FNR_CHECK_MSG(*p_ != '\\',
+                    "perf JSON: escape sequences are not in the schema");
+      out.push_back(*p_++);
+    }
+    expect('"');
+    return out;
+  }
+
+  [[nodiscard]] double parse_number() {
+    skip_ws();
+    char* after = nullptr;
+    const double value = std::strtod(p_, &after);
+    FNR_CHECK_MSG(after != p_, "perf JSON: expected a number");
+    p_ = after;
+    return value;
+  }
+
+  /// Integer fields must round-trip exactly (strtod would lose precision
+  /// above 2^53 and casting an out-of-range double is UB).
+  [[nodiscard]] std::uint64_t parse_uint64() {
+    skip_ws();
+    FNR_CHECK_MSG(p_ < end_ && *p_ != '-',
+                  "perf JSON: expected a non-negative integer");
+    char* after = nullptr;
+    errno = 0;
+    const std::uint64_t value = std::strtoull(p_, &after, 10);
+    FNR_CHECK_MSG(after != p_, "perf JSON: expected an integer");
+    FNR_CHECK_MSG(errno != ERANGE,
+                  "perf JSON: integer field out of 64-bit range");
+    p_ = after;
+    return value;
+  }
+
+  [[nodiscard]] bool parse_bool() {
+    skip_ws();
+    if (end_ - p_ >= 4 && std::string_view(p_, 4) == "true") {
+      p_ += 4;
+      return true;
+    }
+    if (end_ - p_ >= 5 && std::string_view(p_, 5) == "false") {
+      p_ += 5;
+      return false;
+    }
+    FNR_CHECK_MSG(false, "perf JSON: expected true/false");
+    throw std::logic_error("unreachable");
+  }
+
+  void expect_end() {
+    skip_ws();
+    FNR_CHECK_MSG(p_ == end_, "perf JSON: trailing content after report");
+  }
+
+ private:
+  const char* p_;
+  const char* end_;
+};
+
+PerfCell parse_cell(JsonCursor& cursor) {
+  PerfCell cell;
+  cursor.expect('{');
+  bool first = true;
+  while (!cursor.peek_is('}')) {
+    if (!first) cursor.expect(',');
+    first = false;
+    const std::string key = cursor.parse_string();
+    cursor.expect(':');
+    if (key == "strategy") {
+      cell.strategy = cursor.parse_string();
+    } else if (key == "topology") {
+      cell.topology = cursor.parse_string();
+    } else if (key == "n") {
+      cell.n = cursor.parse_uint64();
+    } else if (key == "trials") {
+      cell.trials = cursor.parse_uint64();
+    } else if (key == "total_rounds") {
+      cell.total_rounds = cursor.parse_uint64();
+    } else if (key == "success_rate") {
+      cell.success_rate = cursor.parse_number();
+    } else if (key == "seconds") {
+      cell.seconds = cursor.parse_number();
+    } else if (key == "rounds_per_sec") {
+      cell.rounds_per_sec = cursor.parse_number();
+    } else if (key == "trials_per_sec") {
+      cell.trials_per_sec = cursor.parse_number();
+    } else {
+      FNR_CHECK_MSG(false, "perf JSON: unknown cell field '" << key << "'");
+    }
+  }
+  cursor.expect('}');
+  return cell;
+}
+
+}  // namespace
+
+PerfReport parse_report(const std::string& json) {
+  JsonCursor cursor(json);
+  PerfReport report;
+  cursor.expect('{');
+  bool first = true;
+  while (!cursor.peek_is('}')) {
+    if (!first) cursor.expect(',');
+    first = false;
+    const std::string key = cursor.parse_string();
+    cursor.expect(':');
+    if (key == "schema") {
+      report.schema = cursor.parse_string();
+      FNR_CHECK_MSG(report.schema == schema_tag(),
+                    "perf JSON: schema '" << report.schema
+                                          << "' is not " << schema_tag());
+    } else if (key == "quick") {
+      report.quick = cursor.parse_bool();
+    } else if (key == "threads") {
+      report.threads = static_cast<unsigned>(cursor.parse_uint64());
+    } else if (key == "seed") {
+      report.seed = cursor.parse_uint64();
+    } else if (key == "cells") {
+      cursor.expect('[');
+      while (!cursor.peek_is(']')) {
+        if (!report.cells.empty()) cursor.expect(',');
+        report.cells.push_back(parse_cell(cursor));
+      }
+      cursor.expect(']');
+    } else {
+      FNR_CHECK_MSG(false, "perf JSON: unknown report field '" << key << "'");
+    }
+  }
+  cursor.expect('}');
+  cursor.expect_end();
+  return report;
+}
+
+void validate_report(const PerfReport& report) {
+  FNR_CHECK_MSG(report.schema == schema_tag(),
+                "schema '" << report.schema << "' is not " << schema_tag());
+  FNR_CHECK_MSG(!report.cells.empty(), "report has no cells");
+  FNR_CHECK_MSG(report.threads >= 1, "report records no worker threads");
+  for (const auto& cell : report.cells) {
+    FNR_CHECK_MSG(!cell.strategy.empty(), "cell without a strategy label");
+    FNR_CHECK_MSG(!cell.topology.empty(), "cell without a topology label");
+    FNR_CHECK_MSG(cell.n > 0, "cell '" << cell.strategy << "/"
+                                       << cell.topology << "' has n = 0");
+    FNR_CHECK_MSG(cell.trials > 0, "cell '" << cell.strategy << "/"
+                                            << cell.topology
+                                            << "' ran no trials");
+    FNR_CHECK_MSG(std::isfinite(cell.success_rate) &&
+                      cell.success_rate >= 0.0 && cell.success_rate <= 1.0,
+                  "cell '" << cell.strategy << "/" << cell.topology
+                           << "' success_rate out of [0, 1]");
+    FNR_CHECK_MSG(std::isfinite(cell.seconds) && cell.seconds >= 0.0,
+                  "cell '" << cell.strategy << "/" << cell.topology
+                           << "' has a negative duration");
+    FNR_CHECK_MSG(
+        std::isfinite(cell.rounds_per_sec) && cell.rounds_per_sec >= 0.0,
+        "cell '" << cell.strategy << "/" << cell.topology
+                 << "' rounds_per_sec invalid");
+    FNR_CHECK_MSG(
+        std::isfinite(cell.trials_per_sec) && cell.trials_per_sec >= 0.0,
+        "cell '" << cell.strategy << "/" << cell.topology
+                 << "' trials_per_sec invalid");
+  }
+}
+
+void write_report_file(const PerfReport& report, const std::string& path) {
+  std::ofstream out(path);
+  FNR_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+  out << report.to_json() << "\n";
+  out.flush();  // surface buffered-write failures (e.g. disk full) here,
+                // not silently in the destructor
+  FNR_CHECK_MSG(out.good(), "write to '" << path << "' failed");
+}
+
+PerfReport read_report_file(const std::string& path) {
+  std::ifstream in(path);
+  FNR_CHECK_MSG(in.good(), "cannot open '" << path << "' for reading");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_report(buffer.str());
+}
+
+}  // namespace fnr::perf

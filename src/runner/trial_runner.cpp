@@ -126,24 +126,28 @@ TrialRunner::TrialRunner(RunnerOptions options) {
                                              std::thread::hardware_concurrency());
 }
 
+unsigned TrialRunner::planned_workers(std::uint64_t n_trials) const noexcept {
+  return static_cast<unsigned>(
+      std::min<std::uint64_t>(threads_, std::max<std::uint64_t>(n_trials, 1)));
+}
+
 void TrialRunner::dispatch(
     std::uint64_t n_trials,
-    const std::function<void(std::uint64_t)>& body) const {
+    const std::function<void(unsigned, std::uint64_t)>& body) const {
   if (n_trials == 0) return;
 
-  const auto workers = static_cast<unsigned>(
-      std::min<std::uint64_t>(threads_, n_trials));
+  const unsigned workers = planned_workers(n_trials);
 
   std::atomic<std::uint64_t> next{0};
   std::exception_ptr first_error;
   std::mutex error_mutex;
 
-  const auto worker = [&] {
+  const auto worker = [&](unsigned worker_index) {
     for (;;) {
       const std::uint64_t trial = next.fetch_add(1, std::memory_order_relaxed);
       if (trial >= n_trials) return;
       try {
-        body(trial);
+        body(worker_index, trial);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
@@ -155,11 +159,11 @@ void TrialRunner::dispatch(
   };
 
   if (workers == 1) {
-    worker();
+    worker(0);
   } else {
     std::vector<std::thread> pool;
     pool.reserve(workers);
-    for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
+    for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker, t);
     for (auto& thread : pool) thread.join();
   }
   if (first_error) std::rethrow_exception(first_error);
@@ -169,20 +173,14 @@ TrialAccumulator TrialRunner::run(
     std::uint64_t n_trials, std::uint64_t base_seed,
     const std::function<TrialOutcome(std::uint64_t, std::uint64_t)>& fn)
     const {
-  // Slot-per-trial staging keeps the aggregate independent of scheduling:
-  // workers race only on the atomic counter, never on the slots.
-  std::vector<TrialOutcome> slots(n_trials);
-  dispatch(n_trials, [&](std::uint64_t trial) {
-    const std::uint64_t seed = trial_seed(base_seed, trial);
-    TrialOutcome out = fn(trial, seed);
-    out.trial = trial;
-    out.seed = seed;
-    slots[trial] = out;
-  });
-
-  TrialAccumulator acc;
-  for (auto& out : slots) acc.add(out);
-  return acc;
+  // The scratch-free batch is the scratch batch with an empty scratch —
+  // one copy of the slot-staging/accumulation contract.
+  struct NoScratch {};
+  return run_with_scratch<NoScratch>(
+      n_trials, base_seed,
+      [&fn](NoScratch&, std::uint64_t trial, std::uint64_t seed) {
+        return fn(trial, seed);
+      });
 }
 
 }  // namespace fnr::runner

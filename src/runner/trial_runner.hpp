@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <type_traits>
 #include <vector>
@@ -115,7 +116,7 @@ class TrialRunner {
                   "std::vector<bool> packs bits — concurrent slot writes "
                   "would race. Return char/int instead.");
     std::vector<R> results(n_trials);
-    dispatch(n_trials, [&](std::uint64_t trial) {
+    dispatch(n_trials, [&](unsigned /*worker*/, std::uint64_t trial) {
       results[trial] = fn(trial, trial_seed(base_seed, trial));
     });
     return results;
@@ -128,10 +129,51 @@ class TrialRunner {
       const std::function<TrialOutcome(std::uint64_t trial,
                                        std::uint64_t seed)>& fn) const;
 
+  /// Like run(), but each worker thread owns one `Scratch` (default-
+  /// constructed lazily on the worker's first trial) passed by reference to
+  /// every trial that worker executes: fn(scratch, trial, seed). Per-worker
+  /// scratch is how batch loops stay allocation-free after warm-up (e.g. a
+  /// sim::SchedulerScratch holding a warm arena) without sharing mutable
+  /// state across threads. The determinism contract is unchanged — a trial's
+  /// outcome must depend only on (trial, seed), never on scratch contents
+  /// left behind by earlier trials, so aggregates stay bit-identical across
+  /// thread counts.
+  template <typename Scratch, typename Fn>
+  [[nodiscard]] TrialAccumulator run_with_scratch(std::uint64_t n_trials,
+                                                  std::uint64_t base_seed,
+                                                  Fn&& fn) const {
+    // Cache-line-aligned slots: workers mutate their scratch every round
+    // (e.g. whiteboard access counters), so adjacent slots must not share
+    // a line and ping-pong between cores.
+    struct alignas(64) Slot {
+      std::optional<Scratch> scratch;
+    };
+    std::vector<TrialOutcome> slots(n_trials);
+    std::vector<Slot> scratches(planned_workers(n_trials));
+    dispatch(n_trials, [&](unsigned worker, std::uint64_t trial) {
+      auto& scratch = scratches[worker].scratch;
+      if (!scratch.has_value()) scratch.emplace();
+      const std::uint64_t seed = trial_seed(base_seed, trial);
+      TrialOutcome out = fn(*scratch, trial, seed);
+      out.trial = trial;
+      out.seed = seed;
+      slots[trial] = out;
+    });
+    TrialAccumulator acc;
+    for (auto& out : slots) acc.add(out);
+    return acc;
+  }
+
  private:
-  /// Work-stealing-by-counter dispatch of body(trial) over [0, n_trials).
+  /// Number of worker threads a batch of `n_trials` will actually spawn.
+  [[nodiscard]] unsigned planned_workers(std::uint64_t n_trials)
+      const noexcept;
+
+  /// Work-stealing-by-counter dispatch of body(worker, trial) over
+  /// [0, n_trials); worker indices are dense in [0, planned_workers).
   void dispatch(std::uint64_t n_trials,
-                const std::function<void(std::uint64_t)>& body) const;
+                const std::function<void(unsigned, std::uint64_t)>& body)
+      const;
 
   unsigned threads_ = 1;
 };

@@ -129,6 +129,15 @@ ScenarioReport run_scenario(const Scenario& scenario, Program program,
                             const graph::Graph& g,
                             const sim::ScenarioPlacement& placement,
                             const ScenarioOptions& options) {
+  sim::SchedulerScratch scratch;
+  return run_scenario(scenario, program, g, placement, options, scratch);
+}
+
+ScenarioReport run_scenario(const Scenario& scenario, Program program,
+                            const graph::Graph& g,
+                            const sim::ScenarioPlacement& placement,
+                            const ScenarioOptions& options,
+                            sim::SchedulerScratch& scratch) {
   scenario.validate();
   FNR_CHECK_MSG(placement.num_agents() == scenario.num_agents,
                 "placement has " << placement.num_agents()
@@ -153,7 +162,7 @@ ScenarioReport run_scenario(const Scenario& scenario, Program program,
   pointers.reserve(agents.size());
   for (const auto& agent : agents) pointers.push_back(agent.get());
 
-  sim::Scheduler scheduler(g, model_for(program));
+  sim::Scheduler& scheduler = scratch.scheduler_for(g, model_for(program));
   report.run = scheduler.run_scenario(pointers, placement, scenario.gathering,
                                       report.round_cap);
   return report;
@@ -179,8 +188,11 @@ runner::TrialAccumulator run_scenario_trials(
     const Scenario& scenario, Program program, const graph::Graph& g,
     const ScenarioOptions& options, std::uint64_t n_trials,
     const runner::TrialRunner& trial_runner) {
-  return trial_runner.run(
-      n_trials, options.seed, [&](std::uint64_t trial, std::uint64_t seed) {
+  // One SchedulerScratch per worker keeps the batch loop on warm arenas.
+  return trial_runner.run_with_scratch<sim::SchedulerScratch>(
+      n_trials, options.seed,
+      [&](sim::SchedulerScratch& scratch, std::uint64_t trial,
+          std::uint64_t seed) {
         // Stream 11 draws the instance; the agents split their own streams
         // from the bare seed inside run_scenario. Both derive only from the
         // per-trial split seed — bit-identical across thread counts.
@@ -188,8 +200,8 @@ runner::TrialAccumulator run_scenario_trials(
         const auto placement = draw_instance(scenario, g, instance_rng);
         ScenarioOptions trial_options = options;
         trial_options.seed = seed;
-        const auto report =
-            run_scenario(scenario, program, g, placement, trial_options);
+        const auto report = run_scenario(scenario, program, g, placement,
+                                         trial_options, scratch);
         return to_outcome(trial, seed, report.run);
       });
 }

@@ -35,6 +35,7 @@ enum class Program {
                        ///< reachable (O(n) rounds, deterministic)
 };
 
+/// Stable label for tables and CSV/JSON cell names.
 [[nodiscard]] const char* to_string(Program program) noexcept;
 
 /// All programs, in a stable sweep order.
@@ -49,10 +50,12 @@ struct ScenarioOptions {
   std::uint64_t max_rounds = 0;
 };
 
+/// Outcome of one scenario instance plus the cap it ran under.
 struct ScenarioReport {
-  sim::ScenarioRunResult run;
-  std::uint64_t round_cap = 0;
+  sim::ScenarioRunResult run;   ///< the scheduler's full result
+  std::uint64_t round_cap = 0;  ///< budget the run was given
 
+  /// One-line human-readable outcome summary (for traces and examples).
   [[nodiscard]] std::string describe() const;
 };
 
@@ -70,6 +73,16 @@ struct ScenarioReport {
                                           const graph::Graph& g,
                                           const sim::ScenarioPlacement& placement,
                                           const ScenarioOptions& options);
+
+/// Same, executing on the caller's scheduler scratch (one per worker in
+/// batch loops, so repeated trials reuse a warm arena). Bit-identical to
+/// the scratch-free overload.
+[[nodiscard]] ScenarioReport run_scenario(const Scenario& scenario,
+                                          Program program,
+                                          const graph::Graph& g,
+                                          const sim::ScenarioPlacement& placement,
+                                          const ScenarioOptions& options,
+                                          sim::SchedulerScratch& scratch);
 
 /// Lifts a scenario run into the accumulator's outcome shape: moves_a is
 /// agent 0's moves, moves_b sums agents 1..k-1, whiteboard_marks is the

@@ -45,18 +45,20 @@ enum class DelayModel {
                   ///< rounds (the worst staggering under the bound)
 };
 
+/// Stable label for tables and scenario descriptions.
 [[nodiscard]] const char* to_string(PlacementModel placement) noexcept;
+/// Stable label for tables and scenario descriptions.
 [[nodiscard]] const char* to_string(DelayModel delay) noexcept;
 
 /// One point in scenario space. Immutable once registered.
 struct Scenario {
   std::string name;     ///< registry key, unique
   std::string summary;  ///< one line for tables / --list output
-  std::size_t num_agents = 2;
-  PlacementModel placement = PlacementModel::AdjacentPair;
-  DelayModel delay = DelayModel::None;
+  std::size_t num_agents = 2;   ///< k, at least 2
+  PlacementModel placement = PlacementModel::AdjacentPair;  ///< start draw
+  DelayModel delay = DelayModel::None;  ///< wake-delay draw
   std::uint64_t max_delay = 0;  ///< bound D on wake delays (rounds)
-  sim::Gathering gathering = sim::Gathering::AnyPair;
+  sim::Gathering gathering = sim::Gathering::AnyPair;  ///< success predicate
 
   /// Throws CheckError on inconsistent descriptors (k < 2, AdjacentPair
   /// with k != 2, a delay model with max_delay = 0, ...).

@@ -11,14 +11,16 @@
 
 namespace fnr::sim {
 
+/// Resource counters of one two-agent run (the paper's cost measures).
 struct Metrics {
   std::uint64_t rounds = 0;                ///< rounds executed before meeting
   std::array<std::uint64_t, 2> moves{};    ///< edge traversals per agent
-  std::uint64_t whiteboard_reads = 0;
-  std::uint64_t whiteboard_writes = 0;
+  std::uint64_t whiteboard_reads = 0;      ///< board reads during the run
+  std::uint64_t whiteboard_writes = 0;     ///< board writes during the run
   std::size_t whiteboards_used = 0;        ///< boards that ever held a value
   std::array<std::size_t, 2> peak_memory_words{};  ///< max Agent::memory_words
 
+  /// This agent's edge-traversal count.
   [[nodiscard]] std::uint64_t moves_of(AgentName name) const noexcept {
     return moves[static_cast<std::size_t>(name)];
   }
@@ -33,6 +35,7 @@ struct RunResult {
   graph::VertexIndex meeting_vertex = graph::kNoVertex;
   Metrics metrics;
 
+  /// One-line human-readable outcome summary (for traces and examples).
   [[nodiscard]] std::string describe() const;
 };
 
@@ -65,6 +68,7 @@ struct ScenarioRunResult {
   /// Requires agents.size() == 2.
   [[nodiscard]] RunResult to_run_result() const;
 
+  /// One-line human-readable outcome summary (for traces and examples).
   [[nodiscard]] std::string describe() const;
 };
 

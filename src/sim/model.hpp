@@ -38,6 +38,7 @@ struct Model {
 /// same roles: agent 0 runs the a-program, agents 1..k-1 the b-program.
 enum class AgentName { A, B };
 
+/// The paper's lowercase role letter ("a" / "b") for tables and traces.
 [[nodiscard]] constexpr const char* to_string(AgentName name) noexcept {
   return name == AgentName::A ? "a" : "b";
 }
@@ -49,6 +50,7 @@ enum class Gathering {
   All,      ///< every agent on one vertex (multi-agent gathering)
 };
 
+/// Stable label for scenario descriptors and table headers.
 [[nodiscard]] constexpr const char* to_string(Gathering gathering) noexcept {
   return gathering == Gathering::AnyPair ? "any-pair" : "all-meet";
 }

@@ -1,7 +1,6 @@
 #include "sim/scheduler.hpp"
 
 #include <algorithm>
-#include <optional>
 
 #include "util/log.hpp"
 
@@ -47,13 +46,110 @@ Placement random_adjacent_placement(const graph::Graph& g, Rng& rng) {
 Scheduler::Scheduler(const graph::Graph& g, Model model)
     : graph_(g), model_(model), boards_(g.num_vertices()) {}
 
+void Scheduler::ensure_arena(std::size_t k) {
+  if (views_.size() < k) {
+    pos_.reserve(k);
+    arrival_port_.resize(k);
+    actions_.resize(k);
+    views_.resize(k);
+    for (auto& view : views_) {
+      // Graph/model bindings never change for this arena; set them once.
+      view.id_bound_ = graph_.id_bound();
+      view.n_ = graph_.num_vertices();
+      view.model_ = model_;
+      view.graph_ = &graph_;
+      view.boards_ = model_.whiteboards ? &boards_ : nullptr;
+      // Worst-case degree reservation: per-vertex cache refills can then
+      // never outgrow capacity, so the round loop stays allocation-free.
+      view.neighbor_ids_cache_.reserve(graph_.max_degree());
+    }
+  }
+  // pos_ is consumed whole by the gathering predicate, so it must hold
+  // exactly k entries; resizing within the reserved capacity never
+  // allocates.
+  pos_.resize(k);
+  for (std::size_t i = 0; i < k; ++i) arrival_port_[i].reset();
+}
+
+void Scheduler::aim_view(std::size_t agent, AgentName name,
+                         std::uint64_t local_round, graph::VertexIndex here,
+                         std::optional<std::size_t> arrival) {
+  View& view = views_[agent];
+  view.agent_ = name;
+  view.round_ = local_round;
+  view.here_index_ = here;
+  view.here_id_ = graph_.id_of(here);
+  view.degree_ = graph_.degree(here);
+  view.arrival_port_ = arrival;
+}
+
 RunResult Scheduler::run(Agent& agent_a, Agent& agent_b, Placement placement,
                          std::uint64_t max_rounds) {
-  ScenarioPlacement scenario_placement;
-  scenario_placement.starts = {placement.a_start, placement.b_start};
-  return run_scenario({&agent_a, &agent_b}, scenario_placement,
-                      Gathering::AnyPair, max_rounds)
-      .to_run_result();
+  // Branch-light two-agent fast path: the bit-exact k=2, zero-delay,
+  // any-pair projection of run_scenario (pinned by the golden-regression
+  // tests), with fixed-size state instead of per-run vectors.
+  FNR_CHECK(placement.a_start < graph_.num_vertices());
+  FNR_CHECK(placement.b_start < graph_.num_vertices());
+  FNR_CHECK_MSG(placement.a_start != placement.b_start,
+                "agents must start at distinct vertices");
+  boards_.clear_all();
+  ensure_arena(2);
+
+  Agent* const agents[2] = {&agent_a, &agent_b};
+  graph::VertexIndex pos[2] = {placement.a_start, placement.b_start};
+  std::optional<std::size_t> arrival[2];
+  Action actions[2];
+
+  RunResult result;
+  const std::uint64_t wb_reads0 = boards_.reads();
+  const std::uint64_t wb_writes0 = boards_.writes();
+
+  for (std::uint64_t round = 0; round <= max_rounds; ++round) {
+    if (pos[0] == pos[1]) {
+      result.met = true;
+      result.meeting_round = round;
+      result.meeting_vertex = pos[0];
+      break;
+    }
+    if (round == max_rounds) break;  // budget exhausted without meeting
+    result.metrics.rounds = round + 1;
+
+    for (std::size_t i = 0; i < 2; ++i) {
+      aim_view(i, i == 0 ? AgentName::A : AgentName::B, round, pos[i],
+               arrival[i]);
+      actions[i] = agents[i]->step(views_[i]);
+      result.metrics.peak_memory_words[i] = std::max(
+          result.metrics.peak_memory_words[i], agents[i]->memory_words());
+    }
+
+    // Writes land at the agents' current vertices before the simultaneous
+    // movement (same order as run_scenario; co-location ended the run
+    // above, so a write race between the two agents is impossible).
+    for (std::size_t i = 0; i < 2; ++i) {
+      if (actions[i].whiteboard_write.has_value()) {
+        FNR_CHECK_MSG(model_.whiteboards,
+                      "agent wrote a whiteboard in a whiteboard-free model");
+        boards_.write(pos[i], *actions[i].whiteboard_write);
+      }
+    }
+
+    for (std::size_t i = 0; i < 2; ++i) {
+      const std::size_t port = actions[i].move_port;
+      if (port == Action::kStay) {
+        arrival[i].reset();
+        continue;
+      }
+      const graph::VertexIndex from = pos[i];
+      pos[i] = graph_.neighbor_at_port(from, port);
+      arrival[i] = graph_.port_to(pos[i], from);
+      ++result.metrics.moves[i];
+    }
+  }
+
+  result.metrics.whiteboard_reads = boards_.reads() - wb_reads0;
+  result.metrics.whiteboard_writes = boards_.writes() - wb_writes0;
+  result.metrics.whiteboards_used = boards_.used_boards();
+  return result;
 }
 
 ScenarioRunResult Scheduler::run_scenario(const std::vector<Agent*>& agents,
@@ -76,25 +172,24 @@ ScenarioRunResult Scheduler::run_scenario(const std::vector<Agent*>& agents,
                     "agents must start at distinct vertices");
   }
   boards_.clear_all();
+  ensure_arena(k);
 
   ScenarioRunResult result;
   result.agents.resize(k);
   for (std::size_t i = 0; i < k; ++i)
     result.agents[i].wake_delay = placement.delay_of(i);
 
-  std::vector<graph::VertexIndex> pos = placement.starts;
-  std::vector<std::optional<std::size_t>> arrival_port(k);
-  std::vector<Action> actions(k);
+  std::copy(placement.starts.begin(), placement.starts.end(), pos_.begin());
 
   const std::uint64_t wb_reads0 = boards_.reads();
   const std::uint64_t wb_writes0 = boards_.writes();
 
   for (std::uint64_t round = 0; round <= max_rounds; ++round) {
-    if (gathered(pos, gathering, result.meeting_agent_a,
+    if (gathered(pos_, gathering, result.meeting_agent_a,
                  result.meeting_agent_b)) {
       result.met = true;
       result.meeting_round = round;
-      result.meeting_vertex = pos[result.meeting_agent_a];
+      result.meeting_vertex = pos_[result.meeting_agent_a];
       break;
     }
     if (round == max_rounds) break;  // budget exhausted without gathering
@@ -103,22 +198,13 @@ ScenarioRunResult Scheduler::run_scenario(const std::vector<Agent*>& agents,
     for (std::size_t i = 0; i < k; ++i) {
       const std::uint64_t delay = placement.delay_of(i);
       if (round < delay) {
-        actions[i] = Action::stay();  // asleep: present but inert
+        actions_[i] = Action::stay();  // asleep: present but inert
         continue;
       }
-      View view;
-      view.agent_ = i == 0 ? AgentName::A : AgentName::B;
-      view.round_ = round - delay;  // the agent's local clock
-      view.here_index_ = pos[i];
-      view.here_id_ = graph_.id_of(pos[i]);
-      view.degree_ = graph_.degree(pos[i]);
-      view.id_bound_ = graph_.id_bound();
-      view.n_ = graph_.num_vertices();
-      view.model_ = model_;
-      view.graph_ = &graph_;
-      view.boards_ = model_.whiteboards ? &boards_ : nullptr;
-      view.arrival_port_ = arrival_port[i];
-      actions[i] = agents[i]->step(view);
+      aim_view(i, i == 0 ? AgentName::A : AgentName::B,
+               round - delay /* the agent's local clock */, pos_[i],
+               arrival_port_[i]);
+      actions_[i] = agents[i]->step(views_[i]);
       result.agents[i].peak_memory_words = std::max(
           result.agents[i].peak_memory_words, agents[i]->memory_words());
     }
@@ -129,22 +215,22 @@ ScenarioRunResult Scheduler::run_scenario(const std::vector<Agent*>& agents,
     // order, so the highest-indexed writer wins (deterministic). Under
     // AnyPair co-location ends the run above, so the order is moot.
     for (std::size_t i = 0; i < k; ++i) {
-      if (actions[i].whiteboard_write.has_value()) {
+      if (actions_[i].whiteboard_write.has_value()) {
         FNR_CHECK_MSG(model_.whiteboards,
                       "agent wrote a whiteboard in a whiteboard-free model");
-        boards_.write(pos[i], *actions[i].whiteboard_write);
+        boards_.write(pos_[i], *actions_[i].whiteboard_write);
       }
     }
 
     for (std::size_t i = 0; i < k; ++i) {
-      const std::size_t port = actions[i].move_port;
+      const std::size_t port = actions_[i].move_port;
       if (port == Action::kStay) {
-        arrival_port[i].reset();
+        arrival_port_[i].reset();
         continue;
       }
-      const graph::VertexIndex from = pos[i];
-      pos[i] = graph_.neighbor_at_port(from, port);
-      arrival_port[i] = graph_.port_to(pos[i], from);
+      const graph::VertexIndex from = pos_[i];
+      pos_[i] = graph_.neighbor_at_port(from, port);
+      arrival_port_[i] = graph_.port_to(pos_[i], from);
       ++result.agents[i].moves;
     }
   }
@@ -160,28 +246,21 @@ RunResult Scheduler::run_single(Agent& agent, graph::VertexIndex start,
                                 std::uint64_t max_rounds) {
   FNR_CHECK(start < graph_.num_vertices());
   boards_.clear_all();
+  ensure_arena(1);
 
   RunResult result;
   graph::VertexIndex pos = start;
   std::optional<std::size_t> arrival_port;
 
+  const std::uint64_t wb_reads0 = boards_.reads();
+  const std::uint64_t wb_writes0 = boards_.writes();
+
   for (std::uint64_t round = 0; round < max_rounds; ++round) {
     if (agent.halted()) break;
     result.metrics.rounds = round + 1;
 
-    View view;
-    view.agent_ = AgentName::A;
-    view.round_ = round;
-    view.here_index_ = pos;
-    view.here_id_ = graph_.id_of(pos);
-    view.degree_ = graph_.degree(pos);
-    view.id_bound_ = graph_.id_bound();
-    view.n_ = graph_.num_vertices();
-    view.model_ = model_;
-    view.graph_ = &graph_;
-    view.boards_ = model_.whiteboards ? &boards_ : nullptr;
-    view.arrival_port_ = arrival_port;
-    const Action action = agent.step(view);
+    aim_view(0, AgentName::A, round, pos, arrival_port);
+    const Action action = agent.step(views_[0]);
     result.metrics.peak_memory_words[0] =
         std::max(result.metrics.peak_memory_words[0], agent.memory_words());
 
@@ -200,10 +279,27 @@ RunResult Scheduler::run_single(Agent& agent, graph::VertexIndex start,
     }
   }
   result.meeting_vertex = pos;  // final position (no partner to meet)
-  result.metrics.whiteboard_reads = boards_.reads();
-  result.metrics.whiteboard_writes = boards_.writes();
+  result.metrics.whiteboard_reads = boards_.reads() - wb_reads0;
+  result.metrics.whiteboard_writes = boards_.writes() - wb_writes0;
   result.metrics.whiteboards_used = boards_.used_boards();
   return result;
+}
+
+Scheduler& SchedulerScratch::scheduler_for(const graph::Graph& g,
+                                           Model model) {
+  // Identity is the graph's address plus a size snapshot taken at build
+  // time: the snapshot catches a *different* graph object reusing a dead
+  // graph's address (e.g. a loop-local Graph) — see the header contract.
+  // (Equal-sized topology changes at one address remain undetectable;
+  // hence the documented same-live-object requirement.)
+  if (!scheduler_ || &scheduler_->graph() != &g ||
+      cached_vertices_ != g.num_vertices() ||
+      cached_edges_ != g.num_edges() || !(scheduler_->model() == model)) {
+    scheduler_.emplace(g, model);
+    cached_vertices_ = g.num_vertices();
+    cached_edges_ = g.num_edges();
+  }
+  return *scheduler_;
 }
 
 }  // namespace fnr::sim

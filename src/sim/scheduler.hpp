@@ -18,9 +18,19 @@
 // against view.round() run unmodified on their own clock. A k=2, zero-delay
 // scenario is exactly the paper's synchronous two-agent model, and
 // Scheduler::run is that projection.
+//
+// Performance: a Scheduler is a reusable arena. All per-run scratch —
+// positions, arrival ports, staged actions, per-agent Views with their
+// neighbor-ID caches, the whiteboard store — lives in the Scheduler and is
+// reset (not reallocated) at the start of each run, so repeated trials on
+// one Scheduler perform zero heap allocation after the first (warm-up) run.
+// Scheduler::run additionally takes a branch-light two-agent fast path with
+// no per-run vectors at all. tests/test_alloc_guard.cpp enforces both
+// invariants; docs/PERFORMANCE.md documents them.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -52,9 +62,11 @@ struct ScenarioPlacement {
   std::vector<graph::VertexIndex> starts;
   std::vector<std::uint64_t> wake_delays;  ///< size starts.size() or empty
 
+  /// Number of agents this placement positions.
   [[nodiscard]] std::size_t num_agents() const noexcept {
     return starts.size();
   }
+  /// Wake delay of `agent` (0 when wake_delays is empty).
   [[nodiscard]] std::uint64_t delay_of(std::size_t agent) const noexcept {
     return agent < wake_delays.size() ? wake_delays[agent] : 0;
   }
@@ -62,11 +74,13 @@ struct ScenarioPlacement {
 
 class Scheduler {
  public:
+  /// Binds the arena to `g` (must outlive the Scheduler) and `model`.
   Scheduler(const graph::Graph& g, Model model);
 
   /// Runs agents from `placement` for at most `max_rounds` rounds.
   /// Agents must be freshly constructed (they carry run state).
-  /// Exactly the k=2, zero-delay, any-pair projection of run_scenario.
+  /// Exactly the k=2, zero-delay, any-pair projection of run_scenario,
+  /// implemented as a branch-light fast path that allocates nothing.
   [[nodiscard]] RunResult run(Agent& agent_a, Agent& agent_b,
                               Placement placement, std::uint64_t max_rounds);
 
@@ -85,12 +99,55 @@ class Scheduler {
   [[nodiscard]] RunResult run_single(Agent& agent, graph::VertexIndex start,
                                      std::uint64_t max_rounds);
 
+  /// The graph this arena is bound to.
+  [[nodiscard]] const graph::Graph& graph() const noexcept { return graph_; }
+  /// The computational model runs execute under.
   [[nodiscard]] const Model& model() const noexcept { return model_; }
 
  private:
+  /// Grows the per-agent arena to `k` slots and resets the per-run state
+  /// (positions untouched — callers seed them). Allocates only when `k`
+  /// exceeds every previous run's agent count.
+  void ensure_arena(std::size_t k);
+
+  /// Points views_[agent] at (here, local_round, arrival) for this round.
+  /// The view's graph/model bindings and neighbor cache persist.
+  void aim_view(std::size_t agent, AgentName name, std::uint64_t local_round,
+                graph::VertexIndex here, std::optional<std::size_t> arrival);
+
   const graph::Graph& graph_;
   Model model_;
   Whiteboards boards_;
+
+  // --- per-run arena (reused across runs; zero-allocation after warm-up) ---
+  std::vector<graph::VertexIndex> pos_;
+  std::vector<std::optional<std::size_t>> arrival_port_;
+  std::vector<Action> actions_;
+  std::vector<View> views_;  // one per agent slot, caches persist
+};
+
+/// Per-worker scheduler cache: hands out a Scheduler arena for a
+/// (graph, model) pair, reconstructing only when either changes. Batch
+/// loops (core::run_trials, scenario::run_scenario_trials) keep one
+/// SchedulerScratch per worker thread, so after the first trial every
+/// subsequent trial on that worker reuses a warm arena and the trial loop
+/// stays allocation-free.
+class SchedulerScratch {
+ public:
+  /// The cached Scheduler for (g, model); rebuilt if the cache currently
+  /// holds a different graph or model. Graphs are identified by address
+  /// (plus size sanity checks), so a graph handed to a scratch must stay
+  /// the same live object across calls — scope a scratch within one
+  /// graph's lifetime, as the batch runners do.
+  [[nodiscard]] Scheduler& scheduler_for(const graph::Graph& g, Model model);
+
+ private:
+  std::optional<Scheduler> scheduler_;
+  // Size snapshot taken when the cached Scheduler was built: catches a
+  // *different* graph object reusing the cached graph's address (the
+  // address alone cannot distinguish that case).
+  std::size_t cached_vertices_ = 0;
+  std::size_t cached_edges_ = 0;
 };
 
 }  // namespace fnr::sim

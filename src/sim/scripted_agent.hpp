@@ -17,6 +17,8 @@ namespace fnr::sim {
 
 class ScriptedAgent : public Agent {
  public:
+  /// Executes the front of the plan (refilling via on_idle when empty);
+  /// an empty refill means the agent stays put this round.
   Action step(const View& view) final {
     if (ops_.empty()) on_idle(view);
     if (ops_.empty()) return Action::stay();
@@ -38,6 +40,8 @@ class ScriptedAgent : public Agent {
     return action;
   }
 
+  /// Plan storage, two words per queued operation (subclasses add their
+  /// own state on top).
   [[nodiscard]] std::size_t memory_words() const override {
     return ops_.size() * 2;
   }
@@ -74,7 +78,9 @@ class ScriptedAgent : public Agent {
     ops_.push_back(Op{{}, {}, round});
   }
 
+  /// True when no operations are queued (on_idle will run next round).
   [[nodiscard]] bool plan_empty() const noexcept { return ops_.empty(); }
+  /// Drops every queued operation (e.g. on a protocol restart).
   void plan_clear() noexcept { ops_.clear(); }
 
  private:

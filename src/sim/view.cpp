@@ -6,12 +6,12 @@ const std::vector<graph::VertexId>& View::neighbor_ids() const {
   FNR_CHECK_MSG(model_.neighborhood_ids,
                 "model does not grant access to neighborhood IDs");
   FNR_CHECK(graph_ != nullptr);
-  if (!neighbor_ids_filled_) {
+  if (neighbor_ids_vertex_ != here_index_) {
     const auto nbrs = graph_->neighbors(here_index_);
     neighbor_ids_cache_.resize(nbrs.size());
     for (std::size_t port = 0; port < nbrs.size(); ++port)
       neighbor_ids_cache_[port] = graph_->id_of(nbrs[port]);
-    neighbor_ids_filled_ = true;
+    neighbor_ids_vertex_ = here_index_;
   }
   return neighbor_ids_cache_;
 }

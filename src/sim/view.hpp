@@ -7,6 +7,11 @@
 // has whiteboards), the ID bound n', and the global round counter. The
 // lower-bound experiments rely on this enforcement: an algorithm written
 // against View physically cannot use what the model withholds.
+//
+// Views are arena objects: the Scheduler keeps one View per agent alive for
+// the whole run and re-points it each round, so the neighbor-ID cache
+// persists across rounds (and across runs on the same graph) and the hot
+// loop performs no heap allocation after warm-up.
 #pragma once
 
 #include <cstdint>
@@ -23,11 +28,18 @@ class Scheduler;
 
 class View {
  public:
+  /// Default-constructed Views are inert placeholders; only the Scheduler
+  /// populates them (all observation setters are private to it).
+  View() = default;
+
+  /// Which program role this agent runs (the paper's a / b split).
   [[nodiscard]] AgentName agent() const noexcept { return agent_; }
+  /// The agent's local round counter (0 on its first awake round).
   [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
 
   /// ID of the current vertex (IDs are always visible; §2.1).
   [[nodiscard]] graph::VertexId here() const noexcept { return here_id_; }
+  /// Degree of the current vertex (the size of its port map).
   [[nodiscard]] std::size_t degree() const noexcept { return degree_; }
 
   /// n' — exclusive upper bound on vertex IDs, known to agents.
@@ -40,12 +52,14 @@ class View {
   [[nodiscard]] bool has_neighborhood_ids() const noexcept {
     return model_.neighborhood_ids;
   }
+  /// Whether the current model grants whiteboards.
   [[nodiscard]] bool has_whiteboards() const noexcept {
     return model_.whiteboards;
   }
 
-  /// IDs of the current vertex's neighbors, indexed by port. Filled lazily so
-  /// rounds that never inspect the neighborhood cost O(1).
+  /// IDs of the current vertex's neighbors, indexed by port. Filled lazily
+  /// and cached per vertex, so rounds that never inspect the neighborhood
+  /// cost O(1) and an agent camping on one vertex fills the cache once.
   /// Throws CheckError unless the model grants neighborhood IDs.
   [[nodiscard]] const std::vector<graph::VertexId>& neighbor_ids() const;
 
@@ -67,7 +81,6 @@ class View {
 
  private:
   friend class Scheduler;
-  View() = default;
 
   AgentName agent_ = AgentName::A;
   std::uint64_t round_ = 0;
@@ -80,19 +93,27 @@ class View {
   Whiteboards* boards_ = nullptr;        // non-owning; null w/o whiteboards
   graph::VertexIndex here_index_ = graph::kNoVertex;
   std::optional<std::size_t> arrival_port_;
+  // Neighbor-ID cache, keyed by the vertex it was filled for. The graph is
+  // immutable, so entries stay valid across rounds and runs; capacity is
+  // reserved to the graph's max degree so refills never allocate.
   mutable std::vector<graph::VertexId> neighbor_ids_cache_;
-  mutable bool neighbor_ids_filled_ = false;
+  mutable graph::VertexIndex neighbor_ids_vertex_ = graph::kNoVertex;
 };
 
 /// What an agent does in a round: optionally write the current vertex's
 /// whiteboard, then stay or move through a port.
 struct Action {
+  /// Sentinel port meaning "hold position this round".
   static constexpr std::size_t kStay = static_cast<std::size_t>(-1);
 
+  /// Port to move through at the end of the round (kStay = hold position).
   std::size_t move_port = kStay;
+  /// Value to write on the current vertex's whiteboard before moving.
   std::optional<std::uint64_t> whiteboard_write;
 
+  /// The no-op action: no write, no move.
   [[nodiscard]] static Action stay() noexcept { return {}; }
+  /// Move through `port` without writing.
   [[nodiscard]] static Action move(std::size_t port) noexcept {
     Action a;
     a.move_port = port;

@@ -2,24 +2,34 @@
 
 namespace fnr::sim {
 
-Whiteboards::Whiteboards(std::size_t num_vertices) : cells_(num_vertices) {}
+Whiteboards::Whiteboards(std::size_t num_vertices)
+    : values_(num_vertices), present_((num_vertices + 63) / 64) {
+  // Full reservation keeps write() allocation-free even when a run marks
+  // every board (the zero-allocation invariant of the scheduler hot path).
+  dirty_.reserve(num_vertices);
+}
 
 std::optional<std::uint64_t> Whiteboards::read(graph::VertexIndex v) {
-  FNR_CHECK(v < cells_.size());
+  FNR_CHECK(v < values_.size());
   ++reads_;
-  return cells_[v];
+  if (!present(v)) return std::nullopt;
+  return values_[v];
 }
 
 void Whiteboards::write(graph::VertexIndex v, std::uint64_t value) {
-  FNR_CHECK(v < cells_.size());
+  FNR_CHECK(v < values_.size());
   ++writes_;
-  if (!cells_[v].has_value()) ++used_;
-  cells_[v] = value;
+  if (!present(v)) {
+    present_[v >> 6] |= std::uint64_t{1} << (v & 63);
+    dirty_.push_back(v);
+  }
+  values_[v] = value;
 }
 
 void Whiteboards::clear_all() {
-  for (auto& cell : cells_) cell.reset();
-  used_ = 0;
+  for (const auto v : dirty_)
+    present_[v >> 6] &= ~(std::uint64_t{1} << (v & 63));
+  dirty_.clear();
 }
 
 }  // namespace fnr::sim

@@ -1,0 +1,129 @@
+// Perf-suite contract tests: deterministic cell identities, JSON schema
+// round-trip, file round-trip, and validation failures. Timing fields are
+// machine-dependent and are only checked for well-formedness.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "perf/perf_suite.hpp"
+#include "util/check.hpp"
+
+namespace fnr {
+namespace {
+
+perf::PerfConfig tiny_config(unsigned threads = 1) {
+  perf::PerfConfig config;
+  config.quick = true;
+  config.trials = 2;  // keep suite runs cheap inside the test binary
+  config.threads = threads;
+  config.seed = 99;
+  return config;
+}
+
+TEST(PerfSuite, CellSpecsAreDeterministicAndStrategyMajor) {
+  const auto config = tiny_config();
+  const auto first = perf::perf_cell_specs(config);
+  const auto second = perf::perf_cell_specs(config);
+  EXPECT_EQ(first, second);
+  ASSERT_FALSE(first.empty());
+  // Strategy-major sweep: every topology of one strategy precedes the next
+  // strategy (the canonical BENCH_perf.json ordering).
+  EXPECT_EQ(first.front().strategy, "whiteboard");
+  EXPECT_EQ(first.back().strategy, "no-whiteboard");
+  for (const auto& spec : first) {
+    EXPECT_GT(spec.n, 0u);
+    EXPECT_EQ(spec.trials, 2u);
+  }
+}
+
+TEST(PerfSuite, ReportCellsMatchSpecOrder) {
+  const auto config = tiny_config();
+  const auto specs = perf::perf_cell_specs(config);
+  const auto report = perf::run_perf_suite(config);
+  ASSERT_EQ(report.cells.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(report.cells[i].strategy, specs[i].strategy);
+    EXPECT_EQ(report.cells[i].topology, specs[i].topology);
+    EXPECT_EQ(report.cells[i].n, specs[i].n);
+    EXPECT_EQ(report.cells[i].trials, specs[i].trials);
+  }
+}
+
+TEST(PerfSuite, WorkloadAggregatesAreThreadCountInvariant) {
+  // Only timings may differ between pool sizes; the measured workload
+  // (rounds executed, successes) inherits the runner's bit-identical
+  // aggregation contract.
+  const auto serial = perf::run_perf_suite(tiny_config(1));
+  const auto parallel = perf::run_perf_suite(tiny_config(3));
+  ASSERT_EQ(serial.cells.size(), parallel.cells.size());
+  for (std::size_t i = 0; i < serial.cells.size(); ++i) {
+    EXPECT_EQ(serial.cells[i].total_rounds, parallel.cells[i].total_rounds);
+    EXPECT_EQ(serial.cells[i].success_rate, parallel.cells[i].success_rate);
+  }
+}
+
+TEST(PerfSuite, JsonRoundTripsExactly) {
+  const auto report = perf::run_perf_suite(tiny_config());
+  const std::string json = report.to_json();
+  const auto parsed = perf::parse_report(json);
+  // Serialize-parse-serialize fixpoint: the emitted text is the schema.
+  EXPECT_EQ(parsed.to_json(), json);
+  EXPECT_EQ(parsed.schema, perf::schema_tag());
+  EXPECT_EQ(parsed.quick, report.quick);
+  EXPECT_EQ(parsed.threads, report.threads);
+  EXPECT_EQ(parsed.seed, report.seed);
+  ASSERT_EQ(parsed.cells.size(), report.cells.size());
+  for (std::size_t i = 0; i < report.cells.size(); ++i) {
+    EXPECT_EQ(parsed.cells[i].strategy, report.cells[i].strategy);
+    EXPECT_EQ(parsed.cells[i].total_rounds, report.cells[i].total_rounds);
+  }
+  // The round-tripped report still satisfies the schema validator.
+  EXPECT_NO_THROW(perf::validate_report(parsed));
+}
+
+TEST(PerfSuite, FileRoundTrip) {
+  const auto report = perf::run_perf_suite(tiny_config());
+  const std::string path = ::testing::TempDir() + "fnr_perf_roundtrip.json";
+  perf::write_report_file(report, path);
+  const auto loaded = perf::read_report_file(path);
+  EXPECT_EQ(loaded.to_json(), report.to_json());
+  std::remove(path.c_str());
+}
+
+TEST(PerfSuite, ParseRejectsWrongSchemaTag) {
+  const std::string json =
+      "{\"schema\": \"fnr-perf/999\", \"quick\": false, \"threads\": 1, "
+      "\"seed\": 1, \"cells\": []}";
+  EXPECT_THROW((void)perf::parse_report(json), CheckError);
+}
+
+TEST(PerfSuite, ParseRejectsUnknownFieldsAndTrailingContent) {
+  EXPECT_THROW((void)perf::parse_report("{\"surprise\": 1}"), CheckError);
+  const auto report = perf::run_perf_suite(tiny_config());
+  EXPECT_THROW((void)perf::parse_report(report.to_json() + "x"), CheckError);
+  EXPECT_THROW((void)perf::parse_report("not json at all"), CheckError);
+}
+
+TEST(PerfSuite, ValidateRejectsDegenerateReports) {
+  auto report = perf::run_perf_suite(tiny_config());
+
+  auto empty = report;
+  empty.cells.clear();
+  EXPECT_THROW(perf::validate_report(empty), CheckError);
+
+  auto bad_rate = report;
+  bad_rate.cells[0].success_rate = 1.5;
+  EXPECT_THROW(perf::validate_report(bad_rate), CheckError);
+
+  auto no_trials = report;
+  no_trials.cells[0].trials = 0;
+  EXPECT_THROW(perf::validate_report(no_trials), CheckError);
+
+  auto wrong_schema = report;
+  wrong_schema.schema = "fnr-perf/0";
+  EXPECT_THROW(perf::validate_report(wrong_schema), CheckError);
+}
+
+}  // namespace
+}  // namespace fnr
