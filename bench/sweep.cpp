@@ -1,0 +1,181 @@
+// Sweep-campaign driver: expands a declarative multi-axis spec into a
+// deterministic cell grid and runs it — sharded, checkpointed, resumable
+// (see src/sweep/engine.hpp for the determinism contract and
+// docs/PERFORMANCE.md for the spec format).
+//
+// Flags:
+//   --spec=NAME|PATH   predefined spec name (see --list) or spec-file path
+//   --list             list predefined specs and exit
+//   --cells            print the expanded cell grid (keys) and exit
+//   --shard=I/OF       run cells with index % OF == I (default 0/1)
+//   --checkpoint=PATH  append-only JSONL checkpoint; "auto" (default) picks
+//                      sweep_<spec>[_shardI-OF].jsonl; empty disables
+//   --resume           skip cells already in the checkpoint (fresh runs
+//                      truncate an existing checkpoint instead)
+//   --max-cells=N      stop after N newly-executed cells (CI interrupt)
+//   --merge=P1,P2,...  merge shard checkpoints into the final report and
+//                      exit (requires --spec for the grid; all cells must
+//                      be covered)
+//   --out=PATH         merged JSON report; "auto" (default) picks
+//                      sweep_<spec>[_shardI-OF].json; empty skips; only
+//                      written when the (shard's) campaign is complete
+//   --trials=N         override the spec's per-cell trial count
+//   --threads=N        trial-runner pool size (0 = hardware threads)
+//   --csv / --json     also print the report to stdout
+//   --quiet            suppress per-cell progress lines
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sweep/engine.hpp"
+#include "util/check.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+/// Parses --shard=I/OF.
+void parse_shard(const std::string& text, fnr::sweep::SweepOptions* options) {
+  const auto slash = text.find('/');
+  FNR_CHECK_MSG(slash != std::string::npos && slash > 0 &&
+                    slash + 1 < text.size(),
+                "--shard expects I/OF (e.g. 0/4), got '" << text << "'");
+  char* end = nullptr;
+  const unsigned long index = std::strtoul(text.c_str(), &end, 10);
+  FNR_CHECK_MSG(end == text.c_str() + slash,
+                "--shard index is not an integer in '" << text << "'");
+  const unsigned long count = std::strtoul(text.c_str() + slash + 1, &end, 10);
+  FNR_CHECK_MSG(*end == '\0' && count >= 1 && index < count &&
+                    count <= 1u << 20,
+                "--shard expects I in [0, OF), got '" << text << "'");
+  options->shard_index = static_cast<std::uint32_t>(index);
+  options->shard_count = static_cast<std::uint32_t>(count);
+}
+
+std::string shard_suffix(const fnr::sweep::SweepOptions& options) {
+  if (options.shard_count == 1) return "";
+  return "_shard" + std::to_string(options.shard_index) + "-" +
+         std::to_string(options.shard_count);
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  FNR_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+  out << content << "\n";
+  out.flush();
+  FNR_CHECK_MSG(out.good(), "write to '" << path << "' failed");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fnr;
+  try {
+    Cli cli(argc, argv);
+    const std::string spec_arg = cli.get_string("spec", "");
+    const bool list = cli.get_flag("list");
+    const bool cells_only = cli.get_flag("cells");
+    const std::string shard_arg = cli.get_string("shard", "0/1");
+    std::string checkpoint = cli.get_string("checkpoint", "auto");
+    const bool resume = cli.get_flag("resume");
+    const auto max_cells = cli.get_int("max-cells", 0);
+    FNR_CHECK_MSG(max_cells >= 0, "--max-cells must be >= 0");
+    const std::string merge = cli.get_string("merge", "");
+    std::string out = cli.get_string("out", "auto");
+    const auto trials = cli.get_int("trials", 0);
+    FNR_CHECK_MSG(trials >= 0 && trials <= 100'000'000,
+                  "--trials must be in [0, 1e8], got " << trials);
+    const auto threads = cli.get_int("threads", 0);
+    FNR_CHECK_MSG(threads >= 0 && threads <= 4096,
+                  "--threads must be in [0, 4096], got " << threads);
+    const bool csv = cli.get_flag("csv");
+    const bool json = cli.get_flag("json");
+    const bool quiet = cli.get_flag("quiet");
+    cli.reject_unknown();
+
+    if (list) {
+      std::cout << "predefined sweep specs:\n";
+      for (const auto& [name, text] : sweep::predefined_specs()) {
+        const auto spec = sweep::parse_spec(text);
+        std::cout << "  " << name << " — " << sweep::expand(spec).size()
+                  << " cells, " << spec.trials << " trials each\n";
+      }
+      return 0;
+    }
+
+    FNR_CHECK_MSG(!spec_arg.empty(),
+                  "--spec=NAME|PATH is required (see --list)");
+    sweep::SweepSpec spec = sweep::find_spec(spec_arg);
+    if (trials > 0) spec.trials = static_cast<std::uint64_t>(trials);
+
+    if (cells_only) {
+      for (const auto& cell : sweep::expand(spec))
+        std::cout << cell.index << "\t" << cell.key() << "\n";
+      return 0;
+    }
+
+    sweep::SweepOptions options;
+    options.threads = static_cast<unsigned>(threads);
+    parse_shard(shard_arg, &options);
+    options.resume = resume;
+    options.max_cells = static_cast<std::uint64_t>(max_cells);
+    if (!quiet) options.progress = &std::cout;
+    if (checkpoint == "auto")
+      checkpoint = "sweep_" + spec.name + shard_suffix(options) + ".jsonl";
+    options.checkpoint_path = checkpoint;
+    if (out == "auto")
+      out = "sweep_" + spec.name + shard_suffix(options) + ".json";
+
+    if (!merge.empty()) {
+      // Merge mode: combine shard checkpoints into the full-campaign
+      // report; no cells are executed.
+      std::vector<std::map<std::string, sweep::CheckpointEntry>> checkpoints;
+      std::string path;
+      std::istringstream paths(merge);
+      while (std::getline(paths, path, ','))
+        if (!path.empty()) checkpoints.push_back(sweep::load_checkpoint(path));
+      FNR_CHECK_MSG(!checkpoints.empty(), "--merge lists no checkpoints");
+      const auto results = sweep::results_from_checkpoints(spec, checkpoints);
+      const std::string report = sweep::to_json(spec, results);
+      if (json) std::cout << report << "\n";
+      if (csv) std::cout << sweep::to_csv(results);
+      if (!out.empty()) {
+        write_file(out, report);
+        std::cout << "wrote " << out << " (" << results.size()
+                  << " cells, merged from " << checkpoints.size()
+                  << " checkpoints)\n";
+      }
+      return 0;
+    }
+
+    const auto result = sweep::run_sweep(spec, options);
+    std::cout << "sweep '" << spec.name << "' shard " << options.shard_index
+              << "/" << options.shard_count << ": " << result.executed
+              << " executed, " << result.restored << " restored, graph cache "
+              << result.graph_cache_hits << " hits / "
+              << result.graph_cache_misses << " misses\n";
+
+    if (!result.complete) {
+      std::cout << "campaign incomplete (" << result.cells.size()
+                << " cells finished); resume with --resume --checkpoint="
+                << options.checkpoint_path << "\n";
+      return 0;
+    }
+    const std::string report = sweep::to_json(spec, result.cells);
+    if (json) std::cout << report << "\n";
+    if (csv) std::cout << sweep::to_csv(result.cells);
+    if (!out.empty()) {
+      write_file(out, report);
+      std::cout << "wrote " << out << " (" << result.cells.size()
+                << " cells)\n";
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "sweep: " << error.what() << "\n";
+    return 1;
+  }
+}

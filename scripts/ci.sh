@@ -34,3 +34,17 @@ ctest --output-on-failure -j
 # conforms to the fnr-perf schema (see docs/PERFORMANCE.md).
 ./perf_suite --quick --threads=2 --out=perf_smoke.json
 ./perf_suite --validate=perf_smoke.json
+
+# Sweep smoke: run a tiny campaign uninterrupted, then again "killed"
+# after 2 cells (--max-cells is the deterministic stand-in for a mid-
+# campaign kill; the workflow also does a real kill -9) and resumed on a
+# different thread count. The merged JSON must be byte-identical — that is
+# the sweep engine's determinism contract (see docs/PERFORMANCE.md).
+rm -f sweep_ci_a.jsonl sweep_ci_b.jsonl sweep_ci_a.json sweep_ci_b.json
+./sweep --spec=smoke --checkpoint=sweep_ci_a.jsonl --out=sweep_ci_a.json \
+        --threads=2 --quiet
+./sweep --spec=smoke --checkpoint=sweep_ci_b.jsonl --out=sweep_ci_b.json \
+        --threads=2 --max-cells=2 --quiet
+./sweep --spec=smoke --checkpoint=sweep_ci_b.jsonl --out=sweep_ci_b.json \
+        --threads=1 --resume --quiet
+diff sweep_ci_a.json sweep_ci_b.json

@@ -1,6 +1,8 @@
 #include "graph/generators.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <unordered_set>
 
@@ -249,15 +251,94 @@ std::vector<std::array<double, 2>> draw_points(std::size_t n, Rng& rng) {
   return points;
 }
 
+/// Uniform spatial grid over the unit square. Cell side is >= radius, so
+/// every point within `radius` of p lives in the 3x3 cell block around p's
+/// cell; the axis count is additionally capped near sqrt(n) so the grid
+/// never allocates more cells than points. Buckets are CSR-packed in point
+/// order (counting sort), which keeps every scan deterministic.
+class PointGrid {
+ public:
+  PointGrid(const std::vector<std::array<double, 2>>& points, double radius)
+      : points_(points) {
+    const auto n = points.size();
+    const auto sqrt_n = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::ceil(std::sqrt(static_cast<double>(n)))));
+    // Clamp in double space BEFORE the integer cast: 1 / radius exceeds
+    // the uint64 range for tiny (but valid) radii, and casting an
+    // out-of-range double is UB.
+    const double wanted =
+        std::min(1.0 / radius, static_cast<double>(sqrt_n));
+    per_axis_ = wanted < 1.0 ? 1 : static_cast<std::size_t>(wanted);
+    cell_side_ = 1.0 / static_cast<double>(per_axis_);
+    offsets_.assign(per_axis_ * per_axis_ + 1, 0);
+    for (const auto& p : points_) ++offsets_[cell_index(p) + 1];
+    for (std::size_t c = 1; c < offsets_.size(); ++c)
+      offsets_[c] += offsets_[c - 1];
+    slots_.resize(n);
+    std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+    for (std::size_t i = 0; i < n; ++i)
+      slots_[cursor[cell_index(points_[i])]++] = i;
+  }
+
+  [[nodiscard]] std::size_t per_axis() const noexcept { return per_axis_; }
+  [[nodiscard]] double cell_side() const noexcept { return cell_side_; }
+
+  [[nodiscard]] std::size_t axis_cell(double coord) const noexcept {
+    const auto c = static_cast<std::size_t>(
+        std::max(0.0, coord) * static_cast<double>(per_axis_));
+    return std::min(c, per_axis_ - 1);
+  }
+
+  /// Calls visit(j) for every point in cell (cx, cy), in point order.
+  template <typename Visit>
+  void for_cell(std::size_t cx, std::size_t cy, Visit&& visit) const {
+    const std::size_t cell = cy * per_axis_ + cx;
+    for (std::size_t s = offsets_[cell]; s < offsets_[cell + 1]; ++s)
+      visit(slots_[s]);
+  }
+
+ private:
+  [[nodiscard]] std::size_t cell_index(
+      const std::array<double, 2>& p) const noexcept {
+    return axis_cell(p[1]) * per_axis_ + axis_cell(p[0]);
+  }
+
+  const std::vector<std::array<double, 2>>& points_;
+  std::size_t per_axis_ = 1;
+  double cell_side_ = 1.0;
+  std::vector<std::size_t> offsets_;  ///< CSR offsets, one per grid cell
+  std::vector<std::size_t> slots_;    ///< point indices packed by cell
+};
+
 std::vector<std::pair<VertexIndex, VertexIndex>> radius_edges(
     const std::vector<std::array<double, 2>>& points, double radius) {
+  // Grid bucketing: each point only tests the 3x3 cell block around it, so
+  // the scan is O(n + edges) in expectation instead of the old all-pairs
+  // O(n^2). The (i < j) filter emits each pair exactly once, and the edge
+  // set is identical to the all-pairs scan (the builder sorts + dedups, so
+  // emission order is immaterial; we sort anyway for determinism of the
+  // raw edge list handed to callers).
   std::vector<std::pair<VertexIndex, VertexIndex>> edges;
   const double r2 = radius * radius;
-  for (std::size_t i = 0; i < points.size(); ++i)
-    for (std::size_t j = i + 1; j < points.size(); ++j)
-      if (squared_distance(points[i], points[j]) <= r2)
-        edges.emplace_back(static_cast<VertexIndex>(i),
-                           static_cast<VertexIndex>(j));
+  const PointGrid grid(points, radius);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const std::size_t cx = grid.axis_cell(points[i][0]);
+    const std::size_t cy = grid.axis_cell(points[i][1]);
+    const std::size_t x_lo = cx > 0 ? cx - 1 : 0;
+    const std::size_t x_hi = std::min(cx + 1, grid.per_axis() - 1);
+    const std::size_t y_lo = cy > 0 ? cy - 1 : 0;
+    const std::size_t y_hi = std::min(cy + 1, grid.per_axis() - 1);
+    for (std::size_t y = y_lo; y <= y_hi; ++y)
+      for (std::size_t x = x_lo; x <= x_hi; ++x)
+        grid.for_cell(x, y, [&](std::size_t j) {
+          if (j <= i) return;
+          if (squared_distance(points[i], points[j]) <= r2)
+            edges.emplace_back(static_cast<VertexIndex>(i),
+                               static_cast<VertexIndex>(j));
+        });
+  }
+  std::sort(edges.begin(), edges.end());
   return edges;
 }
 
@@ -289,6 +370,70 @@ class DisjointSets {
   std::vector<std::size_t> size_;
 };
 
+/// Globally closest pair of points in different components, minimizing
+/// (distance², u, v) lexicographically with u < v — the same winner
+/// (including tie-breaks) as the old all-pairs scan. Each point searches
+/// expanding cell rings around itself and stops once the nearest possible
+/// cell of the next ring is already farther than the best pair found, so
+/// the scan is near-linear when components are spatially separated.
+std::pair<VertexIndex, VertexIndex> closest_inter_component_pair(
+    const std::vector<std::array<double, 2>>& points, const PointGrid& grid,
+    DisjointSets& components) {
+  double best = std::numeric_limits<double>::infinity();
+  VertexIndex best_u = 0, best_v = 0;
+  bool found = false;
+  const std::size_t per_axis = grid.per_axis();
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const VertexIndex root_i =
+        components.find(static_cast<VertexIndex>(i));
+    const std::size_t cx = grid.axis_cell(points[i][0]);
+    const std::size_t cy = grid.axis_cell(points[i][1]);
+    const std::size_t last_ring =
+        std::max(std::max(cx, cy),
+                 std::max(per_axis - 1 - cx, per_axis - 1 - cy));
+    auto visit = [&](std::size_t x, std::size_t y) {
+      grid.for_cell(x, y, [&](std::size_t j) {
+        if (j == i) return;
+        if (components.find(static_cast<VertexIndex>(j)) == root_i) return;
+        const double d2 = squared_distance(points[i], points[j]);
+        const auto u = static_cast<VertexIndex>(std::min(i, j));
+        const auto v = static_cast<VertexIndex>(std::max(i, j));
+        if (d2 < best || (d2 == best && (u < best_u ||
+                                         (u == best_u && v < best_v)))) {
+          best = d2;
+          best_u = u;
+          best_v = v;
+          found = true;
+        }
+      });
+    };
+    for (std::size_t ring = 0; ring <= last_ring; ++ring) {
+      // A point in a ring-r cell is at least (r - 1) cell sides away.
+      if (found && ring >= 2) {
+        const double min_d =
+            static_cast<double>(ring - 1) * grid.cell_side();
+        if (min_d * min_d > best) break;
+      }
+      const std::size_t x_lo = cx >= ring ? cx - ring : 0;
+      const std::size_t x_hi = std::min(cx + ring, per_axis - 1);
+      const std::size_t y_lo = cy >= ring ? cy - ring : 0;
+      const std::size_t y_hi = std::min(cy + ring, per_axis - 1);
+      for (std::size_t y = y_lo; y <= y_hi; ++y) {
+        const bool edge_row =
+            (cy >= ring && y == cy - ring) || y == cy + ring;
+        if (edge_row) {
+          for (std::size_t x = x_lo; x <= x_hi; ++x) visit(x, y);
+        } else {
+          if (cx >= ring && cx - ring == x_lo) visit(x_lo, y);
+          if (cx + ring == x_hi) visit(x_hi, y);
+        }
+      }
+    }
+  }
+  FNR_CHECK_MSG(found, "no inter-component pair exists");
+  return {best_u, best_v};
+}
+
 }  // namespace
 
 GeometricGraph make_random_geometric(std::size_t n, double radius, Rng& rng) {
@@ -314,23 +459,13 @@ GeometricGraph make_random_geometric_connected(std::size_t n, double radius,
   for (const auto& [u, v] : edges)
     if (components.unite(u, v)) --num_components;
   // Bridge the globally closest inter-component pair until one component
-  // remains. O(components * n^2), fine at experiment sizes; the points are
-  // fixed, so the patching is deterministic.
+  // remains; the points are fixed, so the patching is deterministic (and
+  // picks the same pairs, tie-breaks included, as the historical all-pairs
+  // scan — see closest_inter_component_pair).
+  const PointGrid grid(out.points, radius);
   while (num_components > 1) {
-    double best = std::numeric_limits<double>::infinity();
-    VertexIndex best_u = 0, best_v = 0;
-    for (std::size_t i = 0; i < n; ++i)
-      for (std::size_t j = i + 1; j < n; ++j) {
-        const auto u = static_cast<VertexIndex>(i);
-        const auto v = static_cast<VertexIndex>(j);
-        if (components.find(u) == components.find(v)) continue;
-        const double d2 = squared_distance(out.points[i], out.points[j]);
-        if (d2 < best) {
-          best = d2;
-          best_u = u;
-          best_v = v;
-        }
-      }
+    const auto [best_u, best_v] =
+        closest_inter_component_pair(out.points, grid, components);
     edges.emplace_back(best_u, best_v);
     components.unite(best_u, best_v);
     --num_components;

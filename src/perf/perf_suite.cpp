@@ -1,18 +1,16 @@
 #include "perf/perf_suite.hpp"
 
 #include <algorithm>
-#include <cerrno>
 #include <chrono>
 #include <cmath>
-#include <cstdlib>
 #include <fstream>
 #include <sstream>
-#include <string_view>
 #include <utility>
 
 #include "core/rendezvous.hpp"
 #include "graph/generators.hpp"
 #include "util/check.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 
 namespace fnr::perf {
@@ -183,103 +181,6 @@ std::string PerfReport::to_json() const {
 
 namespace {
 
-/// Minimal recursive-descent cursor over the JSON subset to_json emits
-/// (objects, arrays, unescaped strings, plain numbers, booleans).
-class JsonCursor {
- public:
-  explicit JsonCursor(const std::string& text)
-      : p_(text.data()), end_(text.data() + text.size()) {}
-
-  void skip_ws() {
-    while (p_ < end_ && (*p_ == ' ' || *p_ == '\n' || *p_ == '\t' ||
-                         *p_ == '\r'))
-      ++p_;
-  }
-
-  [[nodiscard]] bool peek_is(char c) {
-    skip_ws();
-    return p_ < end_ && *p_ == c;
-  }
-
-  void expect(char c) {
-    skip_ws();
-    FNR_CHECK_MSG(p_ < end_ && *p_ == c,
-                  "perf JSON: expected '" << c << "' with "
-                                          << (end_ - p_)
-                                          << " bytes left");
-    ++p_;
-  }
-
-  [[nodiscard]] bool consume(char c) {
-    skip_ws();
-    if (p_ < end_ && *p_ == c) {
-      ++p_;
-      return true;
-    }
-    return false;
-  }
-
-  [[nodiscard]] std::string parse_string() {
-    expect('"');
-    std::string out;
-    while (p_ < end_ && *p_ != '"') {
-      FNR_CHECK_MSG(*p_ != '\\',
-                    "perf JSON: escape sequences are not in the schema");
-      out.push_back(*p_++);
-    }
-    expect('"');
-    return out;
-  }
-
-  [[nodiscard]] double parse_number() {
-    skip_ws();
-    char* after = nullptr;
-    const double value = std::strtod(p_, &after);
-    FNR_CHECK_MSG(after != p_, "perf JSON: expected a number");
-    p_ = after;
-    return value;
-  }
-
-  /// Integer fields must round-trip exactly (strtod would lose precision
-  /// above 2^53 and casting an out-of-range double is UB).
-  [[nodiscard]] std::uint64_t parse_uint64() {
-    skip_ws();
-    FNR_CHECK_MSG(p_ < end_ && *p_ != '-',
-                  "perf JSON: expected a non-negative integer");
-    char* after = nullptr;
-    errno = 0;
-    const std::uint64_t value = std::strtoull(p_, &after, 10);
-    FNR_CHECK_MSG(after != p_, "perf JSON: expected an integer");
-    FNR_CHECK_MSG(errno != ERANGE,
-                  "perf JSON: integer field out of 64-bit range");
-    p_ = after;
-    return value;
-  }
-
-  [[nodiscard]] bool parse_bool() {
-    skip_ws();
-    if (end_ - p_ >= 4 && std::string_view(p_, 4) == "true") {
-      p_ += 4;
-      return true;
-    }
-    if (end_ - p_ >= 5 && std::string_view(p_, 5) == "false") {
-      p_ += 5;
-      return false;
-    }
-    FNR_CHECK_MSG(false, "perf JSON: expected true/false");
-    throw std::logic_error("unreachable");
-  }
-
-  void expect_end() {
-    skip_ws();
-    FNR_CHECK_MSG(p_ == end_, "perf JSON: trailing content after report");
-  }
-
- private:
-  const char* p_;
-  const char* end_;
-};
-
 PerfCell parse_cell(JsonCursor& cursor) {
   PerfCell cell;
   cursor.expect('{');
@@ -318,7 +219,7 @@ PerfCell parse_cell(JsonCursor& cursor) {
 }  // namespace
 
 PerfReport parse_report(const std::string& json) {
-  JsonCursor cursor(json);
+  JsonCursor cursor(json, "perf JSON");
   PerfReport report;
   cursor.expect('{');
   bool first = true;

@@ -1,0 +1,422 @@
+#include "sweep/spec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "scenario/scenario.hpp"
+#include "util/parse.hpp"
+#include "util/table.hpp"
+
+namespace fnr::sweep {
+
+namespace {
+
+// --- small text helpers ------------------------------------------------------
+
+std::string trim(const std::string& s) {
+  const auto first = s.find_first_not_of(" \t\r\n");
+  if (first == std::string::npos) return "";
+  const auto last = s.find_last_not_of(" \t\r\n");
+  return s.substr(first, last - first + 1);
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string item;
+  std::istringstream is(s);
+  while (std::getline(is, item, sep)) {
+    item = trim(item);
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+// --- topology families -------------------------------------------------------
+
+struct FamilyParam {
+  const char* name;
+  double fallback;
+};
+
+struct FamilyInfo {
+  const char* name;
+  std::vector<FamilyParam> params;
+};
+
+const std::vector<FamilyInfo>& families() {
+  static const std::vector<FamilyInfo> all = {
+      {"ring", {}},
+      {"path", {}},
+      {"complete", {}},
+      {"grid", {}},
+      {"torus", {}},
+      {"hypercube", {}},
+      {"near-regular", {{"deg", 8.0}}},
+      {"erdos-renyi", {{"avg-deg", 8.0}}},
+      {"barabasi-albert", {{"m", 4.0}}},
+      {"watts-strogatz", {{"k", 4.0}, {"beta", 0.1}}},
+      {"random-geometric", {{"radius-factor", 1.2}}},
+  };
+  return all;
+}
+
+const FamilyInfo& family_info(const std::string& name) {
+  for (const auto& info : families())
+    if (name == info.name) return info;
+  std::ostringstream known;
+  for (const auto& info : families()) known << " " << info.name;
+  FNR_CHECK_MSG(false, "unknown topology family '" << name
+                                                   << "'; known:"
+                                                   << known.str());
+  throw std::logic_error("unreachable");
+}
+
+/// The (possibly defaulted) value of a family parameter.
+double param_of(const TopologySpec& spec, const char* name) {
+  const auto it = spec.params.find(name);
+  if (it != spec.params.end()) return it->second;
+  for (const auto& p : family_info(spec.family).params)
+    if (std::string(name) == p.name) return p.fallback;
+  FNR_CHECK_MSG(false, "family '" << spec.family << "' has no parameter '"
+                                  << name << "'");
+  throw std::logic_error("unreachable");
+}
+
+/// Integer-valued family parameter (rejects fractional values).
+std::uint64_t int_param_of(const TopologySpec& spec, const char* name) {
+  const double v = param_of(spec, name);
+  FNR_CHECK_MSG(v >= 0.0 && v == std::floor(v) && v <= 1e18,
+                "topology '" << spec.key() << "': parameter '" << name
+                             << "' must be a non-negative integer, got "
+                             << v);
+  return static_cast<std::uint64_t>(v);
+}
+
+std::uint64_t square_side(std::uint64_t n) {
+  auto side = static_cast<std::uint64_t>(
+      std::floor(std::sqrt(static_cast<double>(n))));
+  while ((side + 1) * (side + 1) <= n) ++side;  // guard fp rounding
+  while (side * side > n) --side;
+  return side;
+}
+
+std::uint64_t floor_log2(std::uint64_t n) {
+  std::uint64_t d = 0;
+  while ((std::uint64_t{1} << (d + 1)) <= n) ++d;
+  return d;
+}
+
+double geometric_radius(const TopologySpec& spec, std::uint64_t n) {
+  // factor × the connectivity-threshold radius sqrt(ln n / (π n)).
+  const double factor = param_of(spec, "radius-factor");
+  FNR_CHECK_MSG(factor > 0.0, "topology '" << spec.key()
+                                           << "': radius-factor must be > 0");
+  const auto dn = static_cast<double>(n);
+  return factor * std::sqrt(std::log(dn) / (3.141592653589793 * dn));
+}
+
+}  // namespace
+
+void TopologySpec::validate() const {
+  const FamilyInfo& info = family_info(family);
+  for (const auto& [name, value] : params) {
+    (void)value;
+    const bool known =
+        std::any_of(info.params.begin(), info.params.end(),
+                    [&](const FamilyParam& p) { return name == p.name; });
+    FNR_CHECK_MSG(known, "topology family '" << family
+                                             << "' has no parameter '"
+                                             << name << "'");
+  }
+}
+
+std::string TopologySpec::key() const {
+  std::ostringstream os;
+  os << family;
+  for (const auto& [name, value] : params)
+    os << ":" << name << "=" << format_double(value, 6);
+  return os.str();
+}
+
+std::uint64_t TopologySpec::achieved_n(std::uint64_t n) const {
+  validate();
+  FNR_CHECK_MSG(n >= 4 && n <= kMaxSize,
+                "topology '" << key() << "': size " << n
+                             << " out of [4, 2^20]");
+  if (family == "grid" || family == "torus") {
+    const std::uint64_t side = square_side(n);
+    FNR_CHECK_MSG(side >= 3, "'" << family << "' needs n >= 9");
+    return side * side;
+  }
+  if (family == "hypercube") return std::uint64_t{1} << floor_log2(n);
+  if (family == "complete") {
+    FNR_CHECK_MSG(n <= 4096,
+                  "'complete' is capped at n = 4096 (quadratic edge count)");
+  }
+  return n;
+}
+
+graph::Graph TopologySpec::build(std::uint64_t n, std::uint64_t seed) const {
+  const std::uint64_t target = achieved_n(n);
+  Rng rng(seed, kGraphStream);
+  if (family == "ring") return graph::make_ring(target);
+  if (family == "path") return graph::make_path(target);
+  if (family == "complete") return graph::make_complete(target);
+  if (family == "grid") {
+    const std::uint64_t side = square_side(n);
+    return graph::make_grid(side, side);
+  }
+  if (family == "torus") {
+    const std::uint64_t side = square_side(n);
+    return graph::make_torus(side, side);
+  }
+  if (family == "hypercube") return graph::make_hypercube(floor_log2(n));
+  if (family == "near-regular") {
+    const std::uint64_t deg = int_param_of(*this, "deg");
+    FNR_CHECK_MSG(deg >= 1 && deg < target,
+                  "topology '" << key() << "': deg must be in [1, n)");
+    return graph::make_near_regular(target, deg, rng);
+  }
+  if (family == "erdos-renyi") {
+    const double avg = param_of(*this, "avg-deg");
+    FNR_CHECK_MSG(avg > 0.0, "topology '" << key() << "': avg-deg must be > 0");
+    const double p =
+        std::min(1.0, avg / static_cast<double>(target - 1));
+    return graph::make_erdos_renyi(target, p, rng);
+  }
+  if (family == "barabasi-albert") {
+    const std::uint64_t m = int_param_of(*this, "m");
+    FNR_CHECK_MSG(m >= 1 && target >= m + 2,
+                  "topology '" << key() << "': needs n >= m + 2");
+    return graph::make_barabasi_albert(target, m, rng);
+  }
+  if (family == "watts-strogatz") {
+    const std::uint64_t k = int_param_of(*this, "k");
+    const double beta = param_of(*this, "beta");
+    FNR_CHECK_MSG(k >= 1 && 2 * k + 1 <= target,
+                  "topology '" << key() << "': needs 2k + 1 <= n");
+    return graph::make_watts_strogatz(target, k, beta, rng);
+  }
+  if (family == "random-geometric") {
+    return graph::make_random_geometric_connected(
+               target, geometric_radius(*this, target), rng)
+        .graph;
+  }
+  FNR_CHECK_MSG(false, "unhandled topology family '" << family << "'");
+  throw std::logic_error("unreachable");
+}
+
+const std::vector<std::string>& topology_families() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (const auto& info : families()) out.emplace_back(info.name);
+    return out;
+  }();
+  return names;
+}
+
+TopologySpec parse_topology(const std::string& token) {
+  const auto parts = split(token, ':');
+  FNR_CHECK_MSG(!parts.empty(), "empty topology token");
+  TopologySpec spec;
+  spec.family = parts[0];
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    const auto eq = parts[i].find('=');
+    FNR_CHECK_MSG(eq != std::string::npos && eq > 0,
+                  "topology parameter '" << parts[i]
+                                         << "' is not name=value");
+    const std::string name = trim(parts[i].substr(0, eq));
+    const std::string value = trim(parts[i].substr(eq + 1));
+    FNR_CHECK_MSG(!spec.params.contains(name),
+                  "topology '" << token << "' repeats parameter '" << name
+                               << "'");
+    spec.params[name] =
+        parse_double(value, "topology parameter '" + name + "'");
+  }
+  spec.validate();
+  return spec;
+}
+
+// --- spec --------------------------------------------------------------------
+
+void SweepSpec::validate() const {
+  FNR_CHECK_MSG(!name.empty(), "sweep spec needs a name");
+  FNR_CHECK_MSG(trials >= 1, "sweep spec '" << name << "' needs trials >= 1");
+  FNR_CHECK_MSG(!programs.empty(),
+                "sweep spec '" << name << "' lists no programs");
+  FNR_CHECK_MSG(!scenarios.empty(),
+                "sweep spec '" << name << "' lists no scenarios");
+  FNR_CHECK_MSG(!topologies.empty(),
+                "sweep spec '" << name << "' lists no topologies");
+  FNR_CHECK_MSG(!sizes.empty(), "sweep spec '" << name << "' lists no sizes");
+  FNR_CHECK_MSG(!seeds.empty(), "sweep spec '" << name << "' lists no seeds");
+  for (const auto& scenario_name : scenarios)
+    (void)scenario::find_scenario(scenario_name);  // throws when unknown
+  for (const auto& topology : topologies) topology.validate();
+  for (const auto n : sizes)
+    FNR_CHECK_MSG(n >= 4 && n <= kMaxSize,
+                  "sweep spec '" << name << "': size " << n
+                                 << " out of [4, 2^20]");
+}
+
+std::string SweepCell::key() const {
+  std::ostringstream os;
+  os << scenario::to_string(program) << "|" << scenario << "|"
+     << topology.key() << "|n=" << n << "|seed=" << seed
+     << "|trials=" << trials;
+  return os.str();
+}
+
+std::string SweepCell::graph_key() const {
+  std::ostringstream os;
+  os << topology.key() << "|n=" << n << "|seed=" << seed;
+  return os.str();
+}
+
+std::vector<SweepCell> expand(const SweepSpec& spec) {
+  spec.validate();
+  std::vector<SweepCell> cells;
+  cells.reserve(spec.programs.size() * spec.scenarios.size() *
+                spec.topologies.size() * spec.sizes.size() *
+                spec.seeds.size());
+  for (const auto program : spec.programs)
+    for (const auto& scenario_name : spec.scenarios)
+      for (const auto& topology : spec.topologies)
+        for (const auto n : spec.sizes)
+          for (const auto seed : spec.seeds) {
+            SweepCell cell;
+            cell.index = cells.size();
+            cell.program = program;
+            cell.scenario = scenario_name;
+            cell.topology = topology;
+            cell.n = n;
+            cell.achieved_n = topology.achieved_n(n);
+            cell.seed = seed;
+            cell.trials = spec.trials;
+            cells.push_back(std::move(cell));
+          }
+  return cells;
+}
+
+namespace {
+
+scenario::Program parse_program(const std::string& label) {
+  for (const auto program : scenario::all_programs())
+    if (label == scenario::to_string(program)) return program;
+  std::ostringstream known;
+  for (const auto program : scenario::all_programs())
+    known << " " << scenario::to_string(program);
+  FNR_CHECK_MSG(false,
+                "unknown program '" << label << "'; known:" << known.str());
+  throw std::logic_error("unreachable");
+}
+
+}  // namespace
+
+SweepSpec parse_spec(const std::string& text) {
+  SweepSpec spec;
+  std::istringstream is(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    FNR_CHECK_MSG(eq != std::string::npos,
+                  "sweep spec line " << line_no << ": expected key = value, "
+                                     << "got '" << line << "'");
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key == "name") {
+      FNR_CHECK_MSG(!value.empty(), "sweep spec: empty name");
+      spec.name = value;
+    } else if (key == "trials") {
+      spec.trials = parse_uint64(value, "sweep spec 'trials'");
+    } else if (key == "programs") {
+      for (const auto& token : split(value, ','))
+        spec.programs.push_back(parse_program(token));
+    } else if (key == "scenarios") {
+      spec.scenarios = split(value, ',');
+    } else if (key == "topologies") {
+      for (const auto& token : split(value, ','))
+        spec.topologies.push_back(parse_topology(token));
+    } else if (key == "sizes") {
+      for (const auto& token : split(value, ','))
+        spec.sizes.push_back(parse_uint64(token, "sweep spec 'sizes'"));
+    } else if (key == "seeds") {
+      for (const auto& token : split(value, ','))
+        spec.seeds.push_back(parse_uint64(token, "sweep spec 'seeds'"));
+    } else {
+      FNR_CHECK_MSG(false, "sweep spec line " << line_no
+                                              << ": unknown key '" << key
+                                              << "'");
+    }
+  }
+  spec.validate();
+  return spec;
+}
+
+SweepSpec load_spec_file(const std::string& path) {
+  std::ifstream in(path);
+  FNR_CHECK_MSG(in.good(), "cannot open sweep spec '" << path << "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_spec(buffer.str());
+}
+
+const std::vector<std::pair<std::string, std::string>>& predefined_specs() {
+  static const std::vector<std::pair<std::string, std::string>> specs = {
+      {"smoke", R"(# Tiny grid for CI interrupt/resume smokes.
+name       = smoke
+trials     = 3
+programs   = whiteboard, random-walk
+scenarios  = sync-pair, delayed-pair
+topologies = ring, near-regular:deg=4
+sizes      = 32, 64
+seeds      = 1
+)"},
+      {"perf-quick", R"(# The perf suite's quick cells as a sweep.
+name       = perf-quick
+trials     = 8
+programs   = whiteboard, whiteboard+doubling, no-whiteboard
+scenarios  = sync-pair
+topologies = near-regular:deg=12, torus
+sizes      = 64
+seeds      = 7
+)"},
+      {"perf-full", R"(# The perf suite's full cells as a sweep.
+name       = perf-full
+trials     = 256
+programs   = whiteboard, whiteboard+doubling, no-whiteboard
+scenarios  = sync-pair
+topologies = near-regular:deg=64, torus, hypercube, watts-strogatz:k=6:beta=0.1
+sizes      = 1024
+seeds      = 7
+)"},
+      {"large-n", R"(# Orders-of-magnitude size sweep: 3 programs x 4 families
+# x n in {2^10, 2^14, 2^17}.
+name       = large-n
+trials     = 4
+programs   = whiteboard, whiteboard+doubling, no-whiteboard
+scenarios  = sync-pair
+topologies = near-regular:deg=16, torus, hypercube, random-geometric
+sizes      = 1024, 16384, 131072
+seeds      = 1
+)"},
+  };
+  return specs;
+}
+
+SweepSpec find_spec(const std::string& name_or_path) {
+  for (const auto& [name, text] : predefined_specs())
+    if (name == name_or_path) return parse_spec(text);
+  return load_spec_file(name_or_path);
+}
+
+}  // namespace fnr::sweep

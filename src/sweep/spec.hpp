@@ -1,0 +1,135 @@
+// Declarative multi-axis sweep specifications.
+//
+// The paper's claims are asymptotic in n and δ, but a single bench run pins
+// one size, one seed, one topology. A SweepSpec names whole *axes* —
+// program × scenario (which bundles k, delay model, and gathering
+// predicate) × topology family × n × seed block — and expands them into a
+// deterministic cell grid the sweep engine can shard across workers and
+// resume mid-campaign (see engine.hpp). Everything about a cell is derived
+// from the spec text, so two machines given the same spec enumerate the
+// same grid in the same order with the same keys.
+//
+// Spec text format (parse_spec): one `key = value` per line, `#` comments.
+//
+//   name       = large-n
+//   trials     = 4                       # per-cell trial count
+//   programs   = whiteboard, random-walk # scenario::Program labels
+//   scenarios  = sync-pair, delayed-pair # scenario registry names
+//   topologies = near-regular:deg=16, torus, hypercube
+//   sizes      = 1024, 16384, 131072     # requested n per topology
+//   seeds      = 1, 2                    # seed block (one grid axis each)
+//
+// A topology token is `family` or `family:param=value:param=value`. Lists
+// are comma-separated. Sizes are capped at 2^20.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "scenario/run.hpp"
+
+namespace fnr::sweep {
+
+/// Largest supported requested size (2^20 vertices).
+inline constexpr std::uint64_t kMaxSize = std::uint64_t{1} << 20;
+
+/// One topology-family axis entry: a generator family plus its parameters,
+/// resolved at each size n of the spec.
+struct TopologySpec {
+  std::string family;
+  /// Family parameters (sorted by name, so key() is canonical). Unknown
+  /// parameter names are rejected by validate().
+  std::map<std::string, double> params;
+
+  /// Throws CheckError on an unknown family or unknown/invalid params.
+  void validate() const;
+
+  /// Canonical label, e.g. "near-regular:deg=16" — used in cell keys and
+  /// graph-cache keys.
+  [[nodiscard]] std::string key() const;
+
+  /// The vertex count the family actually achieves at requested size n
+  /// (torus/grid round down to a square, hypercube to a power of two; the
+  /// rest achieve n exactly). Throws when the family cannot host n.
+  [[nodiscard]] std::uint64_t achieved_n(std::uint64_t n) const;
+
+  /// Builds the graph. Deterministic given (family, params, n, seed): all
+  /// generator randomness flows from Rng(seed, kGraphStream).
+  [[nodiscard]] graph::Graph build(std::uint64_t n, std::uint64_t seed) const;
+};
+
+/// The RNG stream topology builders draw from (decorrelated from trial
+/// placement stream 11 and the agents' split streams).
+inline constexpr std::uint64_t kGraphStream = 911;
+
+/// Supported family names, in a stable listing order.
+[[nodiscard]] const std::vector<std::string>& topology_families();
+
+/// Parses `family[:param=value]...`. Validates the result.
+[[nodiscard]] TopologySpec parse_topology(const std::string& token);
+
+/// A full sweep specification (see file header for the text format).
+struct SweepSpec {
+  std::string name = "sweep";
+  std::uint64_t trials = 8;
+  std::vector<scenario::Program> programs;
+  std::vector<std::string> scenarios;  ///< scenario registry names
+  std::vector<TopologySpec> topologies;
+  std::vector<std::uint64_t> sizes;  ///< requested n values, each <= 2^20
+  std::vector<std::uint64_t> seeds;  ///< seed block; one grid axis entry each
+
+  /// Throws CheckError when any axis is empty, a scenario name is unknown,
+  /// a size is out of [4, 2^20], or trials is 0.
+  void validate() const;
+};
+
+/// One cell of the expanded grid.
+struct SweepCell {
+  std::uint64_t index = 0;  ///< position in the canonical grid
+  scenario::Program program = scenario::Program::Whiteboard;
+  std::string scenario;
+  TopologySpec topology;
+  std::uint64_t n = 0;           ///< requested size
+  std::uint64_t achieved_n = 0;  ///< family-resolved vertex count
+  std::uint64_t seed = 0;
+  std::uint64_t trials = 0;
+
+  /// Canonical cell identity: completed cells are skipped by this key on
+  /// resume, so it must never depend on runtime options (threads, shard).
+  [[nodiscard]] std::string key() const;
+
+  /// Graph-cache key: (family, params, n, seed). Cells that share a key
+  /// reuse one generated topology (programs/scenarios don't enter the key —
+  /// the graph draw is independent of who runs on it).
+  [[nodiscard]] std::string graph_key() const;
+};
+
+/// Expands the spec into its canonical cell grid. Axis nesting, outermost
+/// first: program, scenario, topology, size, seed. Deterministic: equal
+/// specs expand to identical grids (same keys, same indices).
+[[nodiscard]] std::vector<SweepCell> expand(const SweepSpec& spec);
+
+/// Parses spec text. Throws CheckError on unknown keys, malformed values,
+/// or a spec that fails validate().
+[[nodiscard]] SweepSpec parse_spec(const std::string& text);
+
+/// Reads and parses a spec file.
+[[nodiscard]] SweepSpec load_spec_file(const std::string& path);
+
+/// Predefined specs, addressable by name from `bench/sweep --spec=<name>`:
+///   smoke      — tiny grid for CI interrupt/resume smokes
+///   perf-quick — the perf suite's quick cells as a sweep
+///   perf-full  — the perf suite's full cells as a sweep
+///   large-n    — 3 programs × 4 families × n ∈ {2^10, 2^14, 2^17}
+/// Each value is spec text (parse it with parse_spec — one format, one
+/// parser, whether the spec is built in or user-supplied).
+[[nodiscard]] const std::vector<std::pair<std::string, std::string>>&
+predefined_specs();
+
+/// Resolves --spec: a predefined name first, otherwise a file path.
+[[nodiscard]] SweepSpec find_spec(const std::string& name_or_path);
+
+}  // namespace fnr::sweep

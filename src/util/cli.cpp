@@ -1,8 +1,7 @@
 #include "util/cli.hpp"
 
-#include <cstdlib>
-
 #include "util/check.hpp"
+#include "util/parse.hpp"
 
 namespace fnr {
 
@@ -25,24 +24,14 @@ std::int64_t Cli::get_int(const std::string& name, std::int64_t fallback) {
   declared_.insert(name);
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
-  char* end = nullptr;
-  const long long v = std::strtoll(it->second.c_str(), &end, 10);
-  FNR_CHECK_MSG(end != nullptr && *end == '\0',
-                "option --" << name << " expects an integer, got '"
-                            << it->second << "'");
-  return v;
+  return parse_int64(it->second, "option --" + name);
 }
 
 double Cli::get_double(const std::string& name, double fallback) {
   declared_.insert(name);
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
-  char* end = nullptr;
-  const double v = std::strtod(it->second.c_str(), &end);
-  FNR_CHECK_MSG(end != nullptr && *end == '\0',
-                "option --" << name << " expects a number, got '"
-                            << it->second << "'");
-  return v;
+  return parse_double(it->second, "option --" + name);
 }
 
 std::string Cli::get_string(const std::string& name, std::string fallback) {
@@ -54,7 +43,15 @@ std::string Cli::get_string(const std::string& name, std::string fallback) {
 bool Cli::get_flag(const std::string& name) {
   declared_.insert(name);
   const auto it = values_.find(name);
-  return it != values_.end() && it->second != "0" && it->second != "false";
+  if (it == values_.end()) return false;
+  const std::string& v = it->second;
+  // "1" is also what the bare `--flag` form parses to.
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  FNR_CHECK_MSG(false, "option --" << name << " expects a boolean "
+                                   << "(1/true/yes/on or 0/false/no/off), "
+                                   << "got '" << v << "'");
+  return false;
 }
 
 void Cli::reject_unknown() const {

@@ -1,0 +1,96 @@
+#include "util/json.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <string_view>
+
+namespace fnr {
+
+std::string JsonCursor::parse_string() {
+  expect('"');
+  std::string out;
+  while (p_ < end_ && *p_ != '"') {
+    FNR_CHECK_MSG(*p_ != '\\',
+                  context_ << ": escape sequences are not in the schema");
+    out.push_back(*p_++);
+  }
+  expect('"');
+  return out;
+}
+
+double JsonCursor::parse_number() {
+  skip_ws();
+  char* after = nullptr;
+  const double value = std::strtod(p_, &after);
+  FNR_CHECK_MSG(after != p_, context_ << ": expected a number");
+  p_ = after;
+  return value;
+}
+
+std::uint64_t JsonCursor::parse_uint64() {
+  skip_ws();
+  FNR_CHECK_MSG(p_ < end_ && *p_ != '-',
+                context_ << ": expected a non-negative integer");
+  char* after = nullptr;
+  errno = 0;
+  const std::uint64_t value = std::strtoull(p_, &after, 10);
+  FNR_CHECK_MSG(after != p_, context_ << ": expected an integer");
+  FNR_CHECK_MSG(errno != ERANGE,
+                context_ << ": integer field out of 64-bit range");
+  p_ = after;
+  return value;
+}
+
+bool JsonCursor::parse_bool() {
+  skip_ws();
+  if (end_ - p_ >= 4 && std::string_view(p_, 4) == "true") {
+    p_ += 4;
+    return true;
+  }
+  if (end_ - p_ >= 5 && std::string_view(p_, 5) == "false") {
+    p_ += 5;
+    return false;
+  }
+  FNR_CHECK_MSG(false, context_ << ": expected true/false");
+  throw std::logic_error("unreachable");
+}
+
+void JsonCursor::skip_value() {
+  skip_ws();
+  FNR_CHECK_MSG(p_ < end_, context_ << ": expected a value");
+  if (*p_ == '"') {
+    (void)parse_string();
+    return;
+  }
+  if (*p_ == '{') {
+    expect('{');
+    bool first = true;
+    while (!peek_is('}')) {
+      if (!first) expect(',');
+      first = false;
+      (void)parse_string();
+      expect(':');
+      skip_value();
+    }
+    expect('}');
+    return;
+  }
+  if (*p_ == '[') {
+    expect('[');
+    bool first = true;
+    while (!peek_is(']')) {
+      if (!first) expect(',');
+      first = false;
+      skip_value();
+    }
+    expect(']');
+    return;
+  }
+  if (*p_ == 't' || *p_ == 'f') {
+    (void)parse_bool();
+    return;
+  }
+  (void)parse_number();
+}
+
+}  // namespace fnr

@@ -1,0 +1,57 @@
+#include "util/parse.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace fnr {
+
+std::int64_t parse_int64(const std::string& text, const std::string& what) {
+  // An empty value leaves strtoll's `end` at the start of the string,
+  // which a bare *end == '\0' test would accept as a parse of "0".
+  FNR_CHECK_MSG(!text.empty(),
+                what << " expects an integer, got an empty value");
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  FNR_CHECK_MSG(end != text.c_str() && *end == '\0',
+                what << " expects an integer, got '" << text << "'");
+  FNR_CHECK_MSG(errno != ERANGE,
+                what << " value '" << text
+                     << "' overflows a 64-bit integer");
+  return v;
+}
+
+std::uint64_t parse_uint64(const std::string& text, const std::string& what) {
+  FNR_CHECK_MSG(!text.empty() && text[0] != '-',
+                what << " expects a non-negative integer, got '" << text
+                     << "'");
+  char* end = nullptr;
+  errno = 0;
+  const std::uint64_t v = std::strtoull(text.c_str(), &end, 10);
+  FNR_CHECK_MSG(end != text.c_str() && *end == '\0',
+                what << " expects an integer, got '" << text << "'");
+  FNR_CHECK_MSG(errno != ERANGE,
+                what << " value '" << text
+                     << "' overflows a 64-bit integer");
+  return v;
+}
+
+double parse_double(const std::string& text, const std::string& what) {
+  FNR_CHECK_MSG(!text.empty(),
+                what << " expects a number, got an empty value");
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(text.c_str(), &end);
+  FNR_CHECK_MSG(end != text.c_str() && *end == '\0',
+                what << " expects a number, got '" << text << "'");
+  // Only overflow is an error: glibc also sets ERANGE on underflow to a
+  // subnormal (e.g. "1e-310"), which parses to a perfectly usable value.
+  FNR_CHECK_MSG(!(errno == ERANGE && std::abs(v) == HUGE_VAL),
+                what << " value '" << text << "' is out of double range");
+  return v;
+}
+
+}  // namespace fnr

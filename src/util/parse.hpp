@@ -1,0 +1,27 @@
+// Checked whole-string numeric parsing.
+//
+// One implementation of the "reject silent strtoll failure modes" rules
+// shared by the CLI and the sweep-spec parser: empty input, trailing
+// garbage, and range overflow all throw CheckError (strtoll/strtoull
+// clamp with errno = ERANGE; strtod returns ±HUGE_VAL). Underflow to a
+// subnormal double is NOT an error — glibc also sets ERANGE for it, but
+// the parsed value is representable and fine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fnr {
+
+/// `what` names the value in error messages (e.g. "option --trials").
+[[nodiscard]] std::int64_t parse_int64(const std::string& text,
+                                       const std::string& what);
+
+/// Rejects negative input outright (strtoull would silently wrap it).
+[[nodiscard]] std::uint64_t parse_uint64(const std::string& text,
+                                         const std::string& what);
+
+[[nodiscard]] double parse_double(const std::string& text,
+                                  const std::string& what);
+
+}  // namespace fnr

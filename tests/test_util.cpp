@@ -155,6 +155,53 @@ TEST(Stats, PercentileInterpolates) {
   EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 1.0), 10.0);
 }
 
+TEST(Stats, SummaryEmptyPinsAllFieldsToZero) {
+  // The sweep engine's aggregate columns feed straight from Summary; an
+  // all-failure cell must produce all-zero round statistics, not garbage.
+  const auto s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.median, 0.0);
+  EXPECT_DOUBLE_EQ(s.p90, 0.0);
+  EXPECT_DOUBLE_EQ(s.p95, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+}
+
+TEST(Stats, SummarySingletonPinsAllPercentilesToTheValue) {
+  const auto s = summarize({7.5});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 7.5);
+  EXPECT_DOUBLE_EQ(s.min, 7.5);
+  EXPECT_DOUBLE_EQ(s.median, 7.5);
+  EXPECT_DOUBLE_EQ(s.p90, 7.5);
+  EXPECT_DOUBLE_EQ(s.p95, 7.5);
+  EXPECT_DOUBLE_EQ(s.max, 7.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Stats, PercentileEndpointsAreExact) {
+  const std::vector<double> sorted{1.0, 2.0, 3.0, 4.0, 5.0};
+  // q = 0 and q = 1 must return the endpoints with no interpolation drift.
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 1.0), 5.0);
+  EXPECT_THROW((void)percentile_sorted(sorted, -0.1), CheckError);
+  EXPECT_THROW((void)percentile_sorted(sorted, 1.1), CheckError);
+  EXPECT_THROW((void)percentile_sorted({}, 0.5), CheckError);
+}
+
+TEST(Stats, TwoElementTailPercentilesInterpolateLinearly) {
+  // Pin the linear-interpolation convention on two elements: position
+  // q * (n - 1), so p90 = 0.9 of the way from min to max.
+  const auto s = summarize({10.0, 20.0});
+  EXPECT_DOUBLE_EQ(s.median, 15.0);
+  EXPECT_DOUBLE_EQ(s.p90, 19.0);
+  EXPECT_DOUBLE_EQ(s.p95, 19.5);
+  // Sample (n-1 denominator) standard deviation.
+  EXPECT_DOUBLE_EQ(s.stddev, std::sqrt(50.0));
+}
+
 TEST(Stats, PowerLawFitRecoversExponent) {
   // y = 3 x^2 exactly.
   std::vector<double> xs, ys;
@@ -239,6 +286,54 @@ TEST(Cli, RejectsMalformedNumbers) {
 TEST(Cli, RejectsNonOptionArgument) {
   const char* argv[] = {"prog", "positional"};
   EXPECT_THROW(Cli(2, argv), CheckError);
+}
+
+TEST(Cli, RejectsEmptyNumericValues) {
+  // `--trials=` used to parse as 0 (strtoll leaves `end` at the start of
+  // an empty string, and *end == '\0' held). It must fail loudly.
+  const char* argv[] = {"prog", "--trials=", "--rate="};
+  Cli cli(3, argv);
+  EXPECT_THROW((void)cli.get_int("trials", 7), CheckError);
+  EXPECT_THROW((void)cli.get_double("rate", 0.5), CheckError);
+}
+
+TEST(Cli, RejectsIntegerOverflow) {
+  // strtoll clamps to LLONG_MAX/MIN with errno = ERANGE; clamping must not
+  // be silent.
+  const char* argv[] = {"prog", "--big=99999999999999999999",
+                        "--small=-99999999999999999999",
+                        "--huge=1e999", "--tiny=1e-310"};
+  Cli cli(5, argv);
+  EXPECT_THROW((void)cli.get_int("big", 0), CheckError);
+  EXPECT_THROW((void)cli.get_int("small", 0), CheckError);
+  EXPECT_THROW((void)cli.get_double("huge", 0.0), CheckError);
+  // Underflow to a subnormal also sets ERANGE on glibc but the value is
+  // representable — it must parse, not throw.
+  EXPECT_GT(cli.get_double("tiny", 0.0), 0.0);
+}
+
+TEST(Cli, FlagSpellingsAreSymmetric) {
+  const char* on_argv[] = {"prog", "--a=1", "--b=true", "--c=yes", "--d=on",
+                           "--e"};
+  Cli on(6, on_argv);
+  for (const char* name : {"a", "b", "c", "d", "e"})
+    EXPECT_TRUE(on.get_flag(name)) << name;
+  const char* off_argv[] = {"prog", "--a=0", "--b=false", "--c=no",
+                            "--d=off"};
+  Cli off(5, off_argv);
+  for (const char* name : {"a", "b", "c", "d"})
+    EXPECT_FALSE(off.get_flag(name)) << name;
+  EXPECT_FALSE(off.get_flag("absent"));
+}
+
+TEST(Cli, RejectsUnrecognizedBooleanSpellings) {
+  // `--flag=no` historically meant *on*; unknown spellings now throw
+  // instead of silently flipping the sense.
+  const char* argv[] = {"prog", "--a=No", "--b=2", "--c=enabled"};
+  Cli cli(4, argv);
+  EXPECT_THROW((void)cli.get_flag("a"), CheckError);
+  EXPECT_THROW((void)cli.get_flag("b"), CheckError);
+  EXPECT_THROW((void)cli.get_flag("c"), CheckError);
 }
 
 TEST(Check, MacroThrowsWithMessage) {
