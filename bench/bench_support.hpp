@@ -17,12 +17,31 @@
 #include "graph/generators.hpp"
 #include "graph/id_space.hpp"
 #include "runner/trial_runner.hpp"
+#include "scenario/program_registry.hpp"
 #include "sim/scheduler.hpp"
 #include "util/cli.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
 namespace fnr::bench {
+
+/// Registry listing flags shared by the scenario-driven benches. Returns
+/// true (after printing) when argv asked for `--list-programs` or
+/// `--list-scenarios`; callers exit before parsing the remaining flags.
+inline bool handle_registry_listings(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-programs") {
+      scenario::print_program_listing(std::cout);
+      return true;
+    }
+    if (arg == "--list-scenarios") {
+      scenario::print_scenario_listing(std::cout);
+      return true;
+    }
+  }
+  return false;
+}
 
 /// Standard experiment knobs shared by every binary.
 struct BenchConfig {

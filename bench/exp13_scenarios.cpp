@@ -8,14 +8,18 @@
 // (scale-free, small-world, torus, hypercube, random-geometric) plus the
 // near-regular control family the theorems are tuned for.
 //
-// Matrix policy (see programs_for): adjacent pairs run every program;
-// neighborhood clusters run whiteboard + random walk; anywhere placements
-// run random walk + explore-rally (the paper's strategies assume a common
-// neighborhood and would burn their full round cap on every trial); and
-// all-meet cells run only explore-rally, since k-way co-location of
-// independent walkers is a lottery, not a measurement. Aggregates are
-// bit-identical across --threads values: every trial derives all
-// randomness from its split seed.
+// Matrix policy: the cell set is the program registry filtered by its own
+// capability masks — a program runs on a scenario exactly when
+// scenario::compatible says the pairing is a measurement (shared
+// neighborhoods for the paper's strategies, all-meet only for coordinated
+// rallies) and runnable_on admits the family graph (complete-graph-only
+// programs skip every family here). Registering a new program grows this
+// matrix with no edit to the bench. Aggregates are bit-identical across
+// --threads values: every trial derives all randomness from its split
+// seed.
+//
+// Extra flags: --list-programs / --list-scenarios print the registries and
+// exit.
 #include "bench_support.hpp"
 
 #include <cmath>
@@ -69,27 +73,20 @@ std::vector<Family> make_families(bool quick, std::uint64_t seed) {
   return families;
 }
 
-std::vector<scenario::Program> programs_for(const scenario::Scenario& s) {
-  using scenario::PlacementModel;
-  using scenario::Program;
-  // k-way co-location of independent walkers is ~n^{1-k} per round; only
-  // the coordinated rally makes all-meet a measurement, not a lottery.
-  if (s.gathering == sim::Gathering::All) return {Program::ExploreRally};
-  switch (s.placement) {
-    case PlacementModel::AdjacentPair:
-      return {Program::Whiteboard, Program::WhiteboardDoubling,
-              Program::NoWhiteboard, Program::RandomWalk};
-    case PlacementModel::NeighborhoodCluster:
-      return {Program::Whiteboard, Program::RandomWalk};
-    case PlacementModel::RandomDistinct:
-      return {Program::RandomWalk, Program::ExploreRally};
-  }
-  return {Program::RandomWalk};
+std::vector<scenario::Program> programs_for(const scenario::Scenario& s,
+                                            const graph::Graph& g) {
+  std::vector<scenario::Program> programs;
+  for (auto& program : scenario::all_programs())
+    if (scenario::compatible(program, s) &&
+        scenario::runnable_on(program.def(), g))
+      programs.push_back(std::move(program));
+  return programs;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (bench::handle_registry_listings(argc, argv)) return 0;
   const auto config = bench::BenchConfig::from_cli(argc, argv);
   const auto runner = config.trial_runner();
   bench::print_header(
@@ -107,7 +104,7 @@ int main(int argc, char** argv) {
   std::uint64_t cell = 0;
   for (const auto& family : families) {
     for (const auto& s : scenario::all_scenarios()) {
-      for (const auto program : programs_for(s)) {
+      for (const auto& program : programs_for(s, family.graph)) {
         scenario::ScenarioOptions options;
         options.seed = 1300 + 17 * cell++;  // stable per-cell base seed
         const auto acc = scenario::run_scenario_trials(

@@ -6,6 +6,9 @@
 // Flags:
 //   --spec=NAME|PATH   predefined spec name (see --list) or spec-file path
 //   --list             list predefined specs and exit
+//   --list-programs    list the program registry (label, capabilities,
+//                      description) and exit
+//   --list-scenarios   list the scenario registry and exit
 //   --cells            print the expanded cell grid (keys) and exit
 //   --shard=I/OF       run cells with index % OF == I (default 0/1)
 //   --checkpoint=PATH  append-only JSONL checkpoint; "auto" (default) picks
@@ -31,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_support.hpp"
 #include "sweep/engine.hpp"
 #include "util/check.hpp"
 #include "util/cli.hpp"
@@ -75,6 +79,7 @@ void write_file(const std::string& path, const std::string& content) {
 int main(int argc, char** argv) {
   using namespace fnr;
   try {
+    if (bench::handle_registry_listings(argc, argv)) return 0;
     Cli cli(argc, argv);
     const std::string spec_arg = cli.get_string("spec", "");
     const bool list = cli.get_flag("list");

@@ -1,11 +1,12 @@
-// Tour of the scenario registry: list every registered scenario, then run
-// each one once on a small-world graph and narrate the outcome. Also shows
-// how to register a custom scenario next to the built-ins.
+// Tour of the scenario and program registries: list every registered
+// scenario and program, then run each scenario once on a small-world graph
+// and narrate the outcome. Also shows how to register a custom scenario
+// next to the built-ins and how `?key=value` suffixes parameterize a
+// registered program.
 #include <iostream>
 
 #include "graph/generators.hpp"
 #include "scenario/run.hpp"
-#include "util/table.hpp"
 
 using namespace fnr;
 
@@ -24,10 +25,10 @@ int main() {
   }
 
   std::cout << "## Registered scenarios\n\n";
-  Table listing({"name", "shape", "summary"});
-  for (const auto& s : scenario::all_scenarios())
-    listing.add_row({s.name, s.describe(), s.summary});
-  listing.print(std::cout);
+  scenario::print_scenario_listing(std::cout);
+
+  std::cout << "## Registered programs\n\n";
+  scenario::print_program_listing(std::cout);
 
   Rng graph_rng(7, 1);
   const auto g = graph::make_watts_strogatz(256, 6, 0.1, graph_rng);
@@ -35,14 +36,15 @@ int main() {
 
   for (const auto& s : scenario::all_scenarios()) {
     // The paper's strategies need a shared neighborhood; dropped-anywhere
-    // agents fall back to the random walk, and all-meet gathering needs the
-    // coordinated rally (k-way walker co-location is a lottery).
+    // agents fall back to a sluggish random walk (a `?laziness` override on
+    // the registered program), and all-meet gathering needs the coordinated
+    // rally (k-way walker co-location is a lottery).
     const auto program =
         s.gathering == sim::Gathering::All
-            ? scenario::Program::ExploreRally
+            ? scenario::find_program("explore-rally")
             : s.placement == scenario::PlacementModel::RandomDistinct
-                  ? scenario::Program::RandomWalk
-                  : scenario::Program::Whiteboard;
+                  ? scenario::find_program("random-walk?laziness=0.25")
+                  : scenario::find_program("whiteboard");
     Rng instance_rng(99, 2);
     const auto placement = scenario::draw_instance(s, g, instance_rng);
     scenario::ScenarioOptions options;

@@ -48,3 +48,21 @@ rm -f sweep_ci_a.jsonl sweep_ci_b.jsonl sweep_ci_a.json sweep_ci_b.json
 ./sweep --spec=smoke --checkpoint=sweep_ci_b.jsonl --out=sweep_ci_b.json \
         --threads=1 --resume --quiet
 diff sweep_ci_a.json sweep_ci_b.json
+
+# Registry smoke: every registered program runs one tiny trial on every
+# compatible scenario (the registry-smoke spec's wildcard axes resolve
+# against the registries, capability masks prune incompatible pairs, and
+# complete-graph programs run on the complete family) — a registration
+# that crashes is caught here without a hand-curated pair list. Any
+# "ok":false cell is a program that cannot execute its own registration.
+./sweep --list-programs > /dev/null
+./sweep --list-scenarios > /dev/null
+./exp13_scenarios --list-programs > /dev/null
+rm -f sweep_registry_smoke.json
+./sweep --spec=registry-smoke --checkpoint= --out=sweep_registry_smoke.json \
+        --threads=2 --quiet
+if grep -q '"ok":false' sweep_registry_smoke.json; then
+  echo "registry smoke: a registered (program, scenario) cell failed:" >&2
+  grep '"ok":false' sweep_registry_smoke.json >&2
+  exit 1
+fi

@@ -9,6 +9,7 @@
 
 #include "core/rendezvous.hpp"
 #include "graph/generators.hpp"
+#include "scenario/program_registry.hpp"
 #include "util/check.hpp"
 #include "util/json.hpp"
 #include "util/table.hpp"
@@ -21,11 +22,20 @@ std::string schema_tag() {
 
 namespace {
 
-/// The measured strategy sweep, in emission order.
-const std::vector<core::Strategy>& strategies() {
-  static const std::vector<core::Strategy> all = {
-      core::Strategy::Whiteboard, core::Strategy::WhiteboardDoubling,
-      core::Strategy::NoWhiteboard};
+/// The measured sweep, in emission order: the registry programs that wrap
+/// a core::Strategy (the paper's strategies, measured through the
+/// two-agent hot path). Cell names are the registry labels, so perf cells
+/// and sweep cells agree on naming. (Registry entries are never removed,
+/// so the pointers stay valid for the process lifetime.)
+const std::vector<const scenario::ProgramDef*>& measured_programs() {
+  static const std::vector<const scenario::ProgramDef*> all = [] {
+    std::vector<const scenario::ProgramDef*> out;
+    for (const auto& def : scenario::all_program_defs())
+      if (def.core_strategy.has_value()) out.push_back(&def);
+    FNR_CHECK_MSG(!out.empty(),
+                  "program registry exposes no core strategies to measure");
+    return out;
+  }();
   return all;
 }
 
@@ -75,9 +85,9 @@ std::uint64_t trials_for(const PerfConfig& config) {
 std::vector<PerfCellSpec> perf_cell_specs(const PerfConfig& config) {
   const std::uint64_t trials = trials_for(config);
   std::vector<PerfCellSpec> specs;
-  for (const auto strategy : strategies()) {
+  for (const auto* def : measured_programs()) {
     for (const auto& topology : topologies(config.quick)) {
-      specs.push_back(PerfCellSpec{core::to_string(strategy), topology.label,
+      specs.push_back(PerfCellSpec{def->label, topology.label,
                                    topology.n, trials});
     }
   }
@@ -86,10 +96,10 @@ std::vector<PerfCellSpec> perf_cell_specs(const PerfConfig& config) {
 
 namespace {
 
-/// Reverse of core::to_string over the measured strategy sweep.
+/// Registry label → the core::Strategy the cell measures.
 [[nodiscard]] core::Strategy strategy_named(const std::string& label) {
-  for (const auto strategy : strategies())
-    if (label == core::to_string(strategy)) return strategy;
+  for (const auto* def : measured_programs())
+    if (label == def->label) return *def->core_strategy;
   FNR_CHECK_MSG(false, "unknown perf strategy '" << label << "'");
   throw std::logic_error("unreachable");
 }

@@ -1,35 +1,12 @@
 #include "scenario/run.hpp"
 
-#include <cmath>
 #include <memory>
 #include <sstream>
 #include <vector>
 
-#include "baselines/gather.hpp"
-#include "baselines/random_walk.hpp"
-#include "core/main_rendezvous.hpp"
-#include "core/no_whiteboard.hpp"
 #include "sim/scheduler.hpp"
 
 namespace fnr::scenario {
-
-const char* to_string(Program program) noexcept {
-  switch (program) {
-    case Program::Whiteboard: return "whiteboard";
-    case Program::WhiteboardDoubling: return "whiteboard+doubling";
-    case Program::NoWhiteboard: return "no-whiteboard";
-    case Program::RandomWalk: return "random-walk";
-    case Program::ExploreRally: return "explore-rally";
-  }
-  return "?";
-}
-
-const std::vector<Program>& all_programs() {
-  static const std::vector<Program> programs = {
-      Program::Whiteboard, Program::WhiteboardDoubling, Program::NoWhiteboard,
-      Program::RandomWalk, Program::ExploreRally};
-  return programs;
-}
 
 std::string ScenarioReport::describe() const {
   std::ostringstream os;
@@ -39,64 +16,24 @@ std::string ScenarioReport::describe() const {
 
 namespace {
 
-[[nodiscard]] core::Strategy core_strategy(Program program) {
-  switch (program) {
-    case Program::Whiteboard: return core::Strategy::Whiteboard;
-    case Program::WhiteboardDoubling: return core::Strategy::WhiteboardDoubling;
-    case Program::NoWhiteboard: return core::Strategy::NoWhiteboard;
-    case Program::RandomWalk:
-    case Program::ExploreRally: break;
-  }
-  FNR_CHECK_MSG(false, "program has no core::Strategy counterpart");
-  throw std::logic_error("unreachable");
-}
-
-[[nodiscard]] sim::Model model_for(Program program) {
-  return program == Program::NoWhiteboard ? sim::Model::no_whiteboards()
-                                          : sim::Model::full();
-}
-
-/// Builds the k agents for `program` (index 0 = a-program). Each agent gets
-/// its own split stream in index order.
+/// Builds the k agents for `program` (index 0 = seeker role). Each agent
+/// gets its own split stream in index order — the split happens for every
+/// slot whether or not the factory consumes it, so deterministic and
+/// randomized programs share one seed schedule.
 [[nodiscard]] std::vector<std::unique_ptr<sim::Agent>> build_agents(
-    Program program, std::size_t k, const graph::Graph& g,
+    const Program& program, std::size_t k, const graph::Graph& g,
     const core::Params& params, Rng& seed_rng) {
-  const double delta = static_cast<double>(g.min_degree());
+  const ProgramDef& def = program.def();
   std::vector<std::unique_ptr<sim::Agent>> agents;
   agents.reserve(k);
   for (std::size_t i = 0; i < k; ++i) {
-    Rng rng = seed_rng.split();
-    switch (program) {
-      case Program::Whiteboard:
-      case Program::WhiteboardDoubling: {
-        const double known_delta =
-            program == Program::WhiteboardDoubling ? -1.0 : delta;
-        if (i == 0) {
-          agents.push_back(
-              std::make_unique<core::WhiteboardAgentA>(params, known_delta,
-                                                       rng));
-        } else {
-          agents.push_back(std::make_unique<core::WhiteboardAgentB>(rng));
-        }
-        break;
-      }
-      case Program::NoWhiteboard: {
-        if (i == 0) {
-          agents.push_back(
-              std::make_unique<core::NoWhiteboardAgentA>(params, delta, rng));
-        } else {
-          agents.push_back(
-              std::make_unique<core::NoWhiteboardAgentB>(params, delta, rng));
-        }
-        break;
-      }
-      case Program::RandomWalk:
-        agents.push_back(std::make_unique<baselines::RandomWalkAgent>(rng));
-        break;
-      case Program::ExploreRally:
-        agents.push_back(std::make_unique<baselines::GatherAtMinAgent>());
-        break;
-    }
+    AgentBuild build{g, params, program, i, k, seed_rng.split()};
+    const AgentFactory& factory =
+        def.symmetric ? def.symmetric : (i == 0 ? def.seeker : def.marker);
+    agents.push_back(factory(build));
+    FNR_CHECK_MSG(agents.back() != nullptr,
+                  "program '" << def.label << "': factory built no agent "
+                              << "for slot " << i);
   }
   return agents;
 }
@@ -104,20 +41,9 @@ namespace {
 }  // namespace
 
 std::uint64_t auto_round_cap(const graph::Graph& g, const Scenario& scenario,
-                             Program program, const core::Params& params) {
-  std::uint64_t cap = 0;
-  if (program == Program::RandomWalk) {
-    // Two independent lazy walks meet in O~(n) on the dense families and
-    // O(n log n)-ish on tori/small worlds; a wide log-linear budget keeps
-    // failures meaningful without unbounded trials.
-    const auto n = static_cast<double>(g.num_vertices());
-    cap = static_cast<std::uint64_t>(32.0 * n * (std::log2(n) + 1.0)) + 1024;
-  } else if (program == Program::ExploreRally) {
-    // DFS walk <= 2(n-1) moves plus a rally route <= diameter < n.
-    cap = 4 * static_cast<std::uint64_t>(g.num_vertices()) + 1024;
-  } else {
-    cap = core::auto_round_cap(g, core_strategy(program), params);
-  }
+                             const Program& program,
+                             const core::Params& params) {
+  std::uint64_t cap = program.def().round_cap(g, params);
   // Gathering everyone is a sequence of pairwise coalescences.
   if (scenario.gathering == sim::Gathering::All)
     cap *= static_cast<std::uint64_t>(scenario.num_agents - 1);
@@ -125,7 +51,7 @@ std::uint64_t auto_round_cap(const graph::Graph& g, const Scenario& scenario,
   return cap + scenario.max_delay;
 }
 
-ScenarioReport run_scenario(const Scenario& scenario, Program program,
+ScenarioReport run_scenario(const Scenario& scenario, const Program& program,
                             const graph::Graph& g,
                             const sim::ScenarioPlacement& placement,
                             const ScenarioOptions& options) {
@@ -133,21 +59,19 @@ ScenarioReport run_scenario(const Scenario& scenario, Program program,
   return run_scenario(scenario, program, g, placement, options, scratch);
 }
 
-ScenarioReport run_scenario(const Scenario& scenario, Program program,
+ScenarioReport run_scenario(const Scenario& scenario, const Program& program,
                             const graph::Graph& g,
                             const sim::ScenarioPlacement& placement,
                             const ScenarioOptions& options,
                             sim::SchedulerScratch& scratch) {
   scenario.validate();
+  const ProgramDef& def = program.def();
   FNR_CHECK_MSG(placement.num_agents() == scenario.num_agents,
                 "placement has " << placement.num_agents()
                                  << " starts for a " << scenario.num_agents
                                  << "-agent scenario");
   FNR_CHECK_MSG(g.min_degree() >= 1, "graph must have no isolated vertices");
-  if (program == Program::NoWhiteboard) {
-    FNR_CHECK_MSG(g.tight_ids(),
-                  "Theorem 2 requires tight naming (n' = O(n))");
-  }
+  check_runnable(def, g);
 
   ScenarioReport report;
   report.round_cap =
@@ -162,7 +86,7 @@ ScenarioReport run_scenario(const Scenario& scenario, Program program,
   pointers.reserve(agents.size());
   for (const auto& agent : agents) pointers.push_back(agent.get());
 
-  sim::Scheduler& scheduler = scratch.scheduler_for(g, model_for(program));
+  sim::Scheduler& scheduler = scratch.scheduler_for(g, def.model);
   report.run = scheduler.run_scenario(pointers, placement, scenario.gathering,
                                       report.round_cap);
   return report;
@@ -185,7 +109,7 @@ runner::TrialOutcome to_outcome(std::uint64_t trial, std::uint64_t seed,
 }
 
 runner::TrialAccumulator run_scenario_trials(
-    const Scenario& scenario, Program program, const graph::Graph& g,
+    const Scenario& scenario, const Program& program, const graph::Graph& g,
     const ScenarioOptions& options, std::uint64_t n_trials,
     const runner::TrialRunner& trial_runner) {
   // One SchedulerScratch per worker keeps the batch loop on warm arenas.

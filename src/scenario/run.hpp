@@ -1,14 +1,16 @@
-// Scenario execution: strategy programs lifted to k agents, wired through
+// Scenario execution: registry programs lifted to k agents, wired through
 // the Scheduler's scenario engine and the parallel TrialRunner.
 //
 // The paper's asymmetric role split carries over: agent 0 runs the
-// a-program (seeker), agents 1..k-1 run the b-program (markers / waiters).
-// For symmetric programs (random walk) every agent runs the same code.
-// Strategies are expected to *tolerate* desynchronized peers — a sleeping
-// partner just means probes find no marks yet — but their guarantees are
-// only proved for the synchronous two-agent instance; measuring how far
-// each degrades under delay and crowding is the point of the scenario
-// benches.
+// program's seeker factory, agents 1..k-1 its marker factory (symmetric
+// programs build every agent from one factory). Which programs exist, what
+// they need from the world, and how they staff agents lives in the program
+// registry (program_registry.hpp); this layer only resolves a Program
+// handle against a Scenario and a Graph. Strategies are expected to
+// *tolerate* desynchronized peers — a sleeping partner just means probes
+// find no marks yet — but their guarantees are only proved for the
+// synchronous two-agent instance; measuring how far each degrades under
+// delay and crowding is the point of the scenario benches.
 #pragma once
 
 #include <cstdint>
@@ -17,29 +19,11 @@
 #include "core/params.hpp"
 #include "core/rendezvous.hpp"
 #include "runner/trial_runner.hpp"
+#include "scenario/program_registry.hpp"
 #include "scenario/scenario.hpp"
 #include "sim/metrics.hpp"
 
 namespace fnr::scenario {
-
-/// The per-agent program family a scenario runs. Extends core::Strategy
-/// with baselines that stay meaningful for k agents and non-adjacent
-/// placements.
-enum class Program {
-  Whiteboard,          ///< Theorem 1 roles: one seeker, k-1 markers
-  WhiteboardDoubling,  ///< same with δ estimated by doubling
-  NoWhiteboard,        ///< Theorem 2 roles (tight naming required)
-  RandomWalk,          ///< every agent an independent lazy random walk
-  ExploreRally,        ///< DFS the graph, rally at the minimum vertex ID —
-                       ///< the coordination that makes Gathering::All
-                       ///< reachable (O(n) rounds, deterministic)
-};
-
-/// Stable label for tables and CSV/JSON cell names.
-[[nodiscard]] const char* to_string(Program program) noexcept;
-
-/// All programs, in a stable sweep order.
-[[nodiscard]] const std::vector<Program>& all_programs();
 
 struct ScenarioOptions {
   core::Params params = core::Params::practical();
@@ -59,17 +43,22 @@ struct ScenarioReport {
   [[nodiscard]] std::string describe() const;
 };
 
-/// Generous failure cap for `program` under `scenario` on this graph.
+/// Generous failure cap for `program` under `scenario` on this graph: the
+/// program's registered cap, scaled for Gathering::All (a sequence of
+/// pairwise coalescences) and extended by the scenario's delay bound.
 [[nodiscard]] std::uint64_t auto_round_cap(const graph::Graph& g,
                                            const Scenario& scenario,
-                                           Program program,
+                                           const Program& program,
                                            const core::Params& params);
 
 /// Runs one concrete instance (starts + delays drawn elsewhere, e.g. via
 /// draw_instance). Throws CheckError when the graph/model cannot satisfy
-/// the program's assumptions (e.g. NoWhiteboard without tight naming).
+/// the program's registered requirements (e.g. no-whiteboard without tight
+/// naming, anderson-weber off a complete graph). Capability *compatibility*
+/// (compatible(program, scenario)) is deliberately not enforced here —
+/// mismatched runs measure degradation; grids skip them instead.
 [[nodiscard]] ScenarioReport run_scenario(const Scenario& scenario,
-                                          Program program,
+                                          const Program& program,
                                           const graph::Graph& g,
                                           const sim::ScenarioPlacement& placement,
                                           const ScenarioOptions& options);
@@ -78,7 +67,7 @@ struct ScenarioReport {
 /// batch loops, so repeated trials reuse a warm arena). Bit-identical to
 /// the scratch-free overload.
 [[nodiscard]] ScenarioReport run_scenario(const Scenario& scenario,
-                                          Program program,
+                                          const Program& program,
                                           const graph::Graph& g,
                                           const sim::ScenarioPlacement& placement,
                                           const ScenarioOptions& options,
@@ -96,7 +85,7 @@ struct ScenarioReport {
 /// and agent randomness from the split seed trial_seed(options.seed, t), so
 /// the aggregate is bit-identical no matter how many threads ran the batch.
 [[nodiscard]] runner::TrialAccumulator run_scenario_trials(
-    const Scenario& scenario, Program program, const graph::Graph& g,
+    const Scenario& scenario, const Program& program, const graph::Graph& g,
     const ScenarioOptions& options, std::uint64_t n_trials,
     const runner::TrialRunner& trial_runner);
 

@@ -1,7 +1,10 @@
 #include "scenario/scenario.hpp"
 
 #include <algorithm>
+#include <ostream>
 #include <sstream>
+
+#include "util/table.hpp"
 
 namespace fnr::scenario {
 
@@ -116,6 +119,13 @@ const Scenario& find_scenario(const std::string& name) {
   FNR_CHECK_MSG(false,
                 "unknown scenario '" << name << "'; known:" << known.str());
   throw std::logic_error("unreachable");  // FNR_CHECK_MSG(false) throws
+}
+
+void print_scenario_listing(std::ostream& os) {
+  Table table({"scenario", "shape", "summary"});
+  for (const auto& scenario : all_scenarios())
+    table.add_row({scenario.name, scenario.describe(), scenario.summary});
+  table.print(os);
 }
 
 namespace {

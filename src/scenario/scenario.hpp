@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -84,6 +85,10 @@ void register_scenario(Scenario scenario);
 
 /// Throws CheckError when the name is unknown (lists known names).
 [[nodiscard]] const Scenario& find_scenario(const std::string& name);
+
+/// Markdown-ish table of every registered scenario (name, shape, summary)
+/// for the --list-scenarios CLIs.
+void print_scenario_listing(std::ostream& os);
 
 // --- instance materialization -----------------------------------------------
 

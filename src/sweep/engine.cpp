@@ -7,7 +7,7 @@
 #include <sstream>
 
 #include "runner/trial_runner.hpp"
-#include "scenario/scenario.hpp"
+#include "scenario/run.hpp"
 #include "util/json.hpp"
 #include "util/table.hpp"
 

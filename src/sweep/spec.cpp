@@ -247,6 +247,10 @@ void SweepSpec::validate() const {
   FNR_CHECK_MSG(trials >= 1, "sweep spec '" << name << "' needs trials >= 1");
   FNR_CHECK_MSG(!programs.empty(),
                 "sweep spec '" << name << "' lists no programs");
+  for (const auto& program : programs)
+    FNR_CHECK_MSG(program.valid(),
+                  "sweep spec '" << name
+                                 << "' carries an invalid program handle");
   FNR_CHECK_MSG(!scenarios.empty(),
                 "sweep spec '" << name << "' lists no scenarios");
   FNR_CHECK_MSG(!topologies.empty(),
@@ -282,9 +286,18 @@ std::vector<SweepCell> expand(const SweepSpec& spec) {
   cells.reserve(spec.programs.size() * spec.scenarios.size() *
                 spec.topologies.size() * spec.sizes.size() *
                 spec.seeds.size());
-  for (const auto program : spec.programs)
-    for (const auto& scenario_name : spec.scenarios)
-      for (const auto& topology : spec.topologies)
+  for (const auto& program : spec.programs)
+    for (const auto& scenario_name : spec.scenarios) {
+      // Capability pruning: a mismatched (program, scenario) pair — or a
+      // complete-graph-only program on another family — expands to no
+      // cells, replacing the benches' old hand-maintained exclusion lists.
+      if (!scenario::compatible(program,
+                                scenario::find_scenario(scenario_name)))
+        continue;
+      for (const auto& topology : spec.topologies) {
+        if (program.def().caps.needs_complete_graph &&
+            topology.family != "complete")
+          continue;
         for (const auto n : spec.sizes)
           for (const auto seed : spec.seeds) {
             SweepCell cell;
@@ -298,23 +311,14 @@ std::vector<SweepCell> expand(const SweepSpec& spec) {
             cell.trials = spec.trials;
             cells.push_back(std::move(cell));
           }
+      }
+    }
+  FNR_CHECK_MSG(!cells.empty(),
+                "sweep spec '" << spec.name
+                               << "': capability masks leave no compatible "
+                                  "(program, scenario, topology) cells");
   return cells;
 }
-
-namespace {
-
-scenario::Program parse_program(const std::string& label) {
-  for (const auto program : scenario::all_programs())
-    if (label == scenario::to_string(program)) return program;
-  std::ostringstream known;
-  for (const auto program : scenario::all_programs())
-    known << " " << scenario::to_string(program);
-  FNR_CHECK_MSG(false,
-                "unknown program '" << label << "'; known:" << known.str());
-  throw std::logic_error("unreachable");
-}
-
-}  // namespace
 
 SweepSpec parse_spec(const std::string& text) {
   SweepSpec spec;
@@ -339,10 +343,38 @@ SweepSpec parse_spec(const std::string& text) {
     } else if (key == "trials") {
       spec.trials = parse_uint64(value, "sweep spec 'trials'");
     } else if (key == "programs") {
-      for (const auto& token : split(value, ','))
-        spec.programs.push_back(parse_program(token));
+      for (const auto& token : split(value, ',')) {
+        if (token == "*") {
+          for (auto& program : scenario::all_programs())
+            spec.programs.push_back(std::move(program));
+          continue;
+        }
+        try {
+          spec.programs.push_back(scenario::find_program(token));
+        } catch (const CheckError& error) {
+          // Re-throw naming the offending spec line; find_program's message
+          // already enumerates the valid label set.
+          throw CheckError("sweep spec line " + std::to_string(line_no) +
+                           ": " + error.what());
+        }
+      }
     } else if (key == "scenarios") {
-      spec.scenarios = split(value, ',');
+      for (const auto& token : split(value, ',')) {
+        if (token == "*") {
+          for (const auto& scenario : scenario::all_scenarios())
+            spec.scenarios.push_back(scenario.name);
+          continue;
+        }
+        if (!scenario::has_scenario(token)) {
+          std::ostringstream known;
+          for (const auto& scenario : scenario::all_scenarios())
+            known << " " << scenario.name;
+          throw CheckError("sweep spec line " + std::to_string(line_no) +
+                           ": unknown scenario '" + token +
+                           "'; known:" + known.str());
+        }
+        spec.scenarios.push_back(token);
+      }
     } else if (key == "topologies") {
       for (const auto& token : split(value, ','))
         spec.topologies.push_back(parse_topology(token));
@@ -407,6 +439,20 @@ programs   = whiteboard, whiteboard+doubling, no-whiteboard
 scenarios  = sync-pair
 topologies = near-regular:deg=16, torus, hypercube, random-geometric
 sizes      = 1024, 16384, 131072
+seeds      = 1
+)"},
+      {"registry-smoke", R"(# Every registered program on every compatible
+# scenario, one tiny trial each. The wildcard axes resolve against the
+# registries at parse time, so a new registration is covered without
+# editing this spec; capability masks prune incompatible pairs and keep
+# complete-graph programs on the complete family. A cell that fails here
+# means a registration that cannot run — CI greps the report for it.
+name       = registry-smoke
+trials     = 1
+programs   = *
+scenarios  = *
+topologies = near-regular:deg=6, complete
+sizes      = 16
 seeds      = 1
 )"},
   };

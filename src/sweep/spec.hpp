@@ -13,14 +13,28 @@
 //
 //   name       = large-n
 //   trials     = 4                       # per-cell trial count
-//   programs   = whiteboard, random-walk # scenario::Program labels
+//   programs   = whiteboard, random-walk # program registry labels
 //   scenarios  = sync-pair, delayed-pair # scenario registry names
 //   topologies = near-regular:deg=16, torus, hypercube
 //   sizes      = 1024, 16384, 131072     # requested n per topology
 //   seeds      = 1, 2                    # seed block (one grid axis each)
 //
-// A topology token is `family` or `family:param=value:param=value`. Lists
-// are comma-separated. Sizes are capped at 2^20.
+// A topology token is `family` or `family:param=value:param=value`. A
+// program token is a registry label, optionally parameterized with a
+// `?key=value&key=value` suffix (e.g. `random-walk?laziness=0.25`); the
+// canonical suffix form is part of the cell key. `programs = *` and
+// `scenarios = *` expand to every registry entry (registration order at
+// parse time) — the registry-smoke spec uses this so new registrations are
+// covered without editing a list. Unknown labels fail naming the spec line
+// and enumerating the registry. Lists are comma-separated. Sizes are
+// capped at 2^20.
+//
+// Capability masks prune the expanded grid: a (program, scenario) pair the
+// registry marks incompatible (compatible() — e.g. a neighborhood strategy
+// on dropped-anywhere placements, a pairwise program on all-meet
+// gathering), and a complete-graph-only program on any topology family
+// other than `complete`, produce no cells at all instead of cells that
+// deterministically fail.
 #pragma once
 
 #include <cstdint>
@@ -29,7 +43,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
-#include "scenario/run.hpp"
+#include "scenario/program_registry.hpp"
 
 namespace fnr::sweep {
 
@@ -75,7 +89,7 @@ inline constexpr std::uint64_t kGraphStream = 911;
 struct SweepSpec {
   std::string name = "sweep";
   std::uint64_t trials = 8;
-  std::vector<scenario::Program> programs;
+  std::vector<scenario::Program> programs;  ///< registry handles
   std::vector<std::string> scenarios;  ///< scenario registry names
   std::vector<TopologySpec> topologies;
   std::vector<std::uint64_t> sizes;  ///< requested n values, each <= 2^20
@@ -89,7 +103,7 @@ struct SweepSpec {
 /// One cell of the expanded grid.
 struct SweepCell {
   std::uint64_t index = 0;  ///< position in the canonical grid
-  scenario::Program program = scenario::Program::Whiteboard;
+  scenario::Program program;  ///< invalid until expand() fills it
   std::string scenario;
   TopologySpec topology;
   std::uint64_t n = 0;           ///< requested size
@@ -108,8 +122,12 @@ struct SweepCell {
 };
 
 /// Expands the spec into its canonical cell grid. Axis nesting, outermost
-/// first: program, scenario, topology, size, seed. Deterministic: equal
-/// specs expand to identical grids (same keys, same indices).
+/// first: program, scenario, topology, size, seed. Incompatible
+/// (program, scenario) pairs and complete-graph-only programs off the
+/// `complete` family are skipped (see the file header); indices stay dense
+/// over the cells that remain. Deterministic: equal specs expand to
+/// identical grids (same keys, same indices). Throws CheckError when
+/// capability pruning leaves no cells at all.
 [[nodiscard]] std::vector<SweepCell> expand(const SweepSpec& spec);
 
 /// Parses spec text. Throws CheckError on unknown keys, malformed values,
@@ -120,10 +138,12 @@ struct SweepCell {
 [[nodiscard]] SweepSpec load_spec_file(const std::string& path);
 
 /// Predefined specs, addressable by name from `bench/sweep --spec=<name>`:
-///   smoke      — tiny grid for CI interrupt/resume smokes
-///   perf-quick — the perf suite's quick cells as a sweep
-///   perf-full  — the perf suite's full cells as a sweep
-///   large-n    — 3 programs × 4 families × n ∈ {2^10, 2^14, 2^17}
+///   smoke          — tiny grid for CI interrupt/resume smokes
+///   perf-quick     — the perf suite's quick cells as a sweep
+///   perf-full      — the perf suite's full cells as a sweep
+///   large-n        — 3 programs × 4 families × n ∈ {2^10, 2^14, 2^17}
+///   registry-smoke — every registered program × every compatible scenario,
+///                    one tiny trial each (the CI registration smoke)
 /// Each value is spec text (parse it with parse_spec — one format, one
 /// parser, whether the spec is built in or user-supplied).
 [[nodiscard]] const std::vector<std::pair<std::string, std::string>>&

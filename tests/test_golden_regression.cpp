@@ -136,9 +136,9 @@ TEST(GoldenRegression, SyncPairScenarioReproducesPreChangeTraces) {
   // delay, same per-agent seed split as run_rendezvous. Bit-for-bit.
   const auto g = golden_graph();
   const auto& sync = scenario::find_scenario("sync-pair");
-  const scenario::Program programs[] = {scenario::Program::Whiteboard,
-                                        scenario::Program::WhiteboardDoubling,
-                                        scenario::Program::NoWhiteboard};
+  const scenario::Program programs[] = {scenario::find_program("whiteboard"),
+                                        scenario::find_program("whiteboard+doubling"),
+                                        scenario::find_program("no-whiteboard")};
   for (std::size_t i = 0; i < std::size(kGoldenTraces); ++i) {
     SCOPED_TRACE(scenario::to_string(programs[i]));
     Rng rng(2024, 3);

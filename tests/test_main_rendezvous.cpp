@@ -4,7 +4,9 @@
 
 #include <cmath>
 
+#include "baselines/wait_and_sweep.hpp"
 #include "graph/analysis.hpp"
+#include "graph/builder.hpp"
 #include "test_support.hpp"
 #include "util/stats.hpp"
 
@@ -176,6 +178,56 @@ TEST(MainRendezvous, RejectsNonAdjacentStarts) {
   RendezvousOptions options;
   EXPECT_THROW((void)run_rendezvous(g, sim::Placement{0, 3}, options),
                CheckError);
+}
+
+/// Cycles between its start u and the adjacent `target`, stamping `mark`
+/// on target's whiteboard each visit — a stand-in for a foreign agent b
+/// whose home is nowhere near agent a.
+class ForeignStampAgent final : public sim::Agent {
+ public:
+  ForeignStampAgent(graph::VertexId target, graph::VertexId mark)
+      : target_(target), mark_(mark) {}
+
+  sim::Action step(const sim::View& view) override {
+    if (view.here() != target_) return sim::Action::move(view.port_of(target_));
+    sim::Action action;
+    action.whiteboard_write = mark_;
+    action.move_port = *view.arrival_port();  // back to u
+    return action;
+  }
+
+ private:
+  graph::VertexId target_;
+  graph::VertexId mark_;
+};
+
+TEST(MainRendezvous, ForeignMarksAreCountedSkippedAndNeverDereferenced) {
+  // The k-agent hazard the paper's two-agent instance cannot produce: a
+  // reads a mark naming a vertex OUTSIDE its home neighborhood. The stamp
+  // agent keeps writing the ID of the far vertex 4 onto a's home (vertex 1,
+  // whose closed neighborhood is {0, 1, 2}); a must count the mark as
+  // foreign, keep probing (never enter Sit / plan a route to 4 — it has
+  // none), and finish the run without touching unknown state (the ASan CI
+  // job turns any dereference into a failure).
+  graph::GraphBuilder builder(5);
+  for (graph::VertexIndex v = 0; v + 1 < 5; ++v) builder.add_edge(v, v + 1);
+  const auto g = std::move(builder).build_identity_ids();
+
+  sim::Scheduler scheduler(g, sim::Model::full());
+  WhiteboardAgentA a(Params::practical(), /*known_delta=*/1.0, Rng(3, 1));
+  ForeignStampAgent stamp(/*target=*/1, /*mark=*/4);
+  baselines::WaitingAgent waiter;
+
+  sim::ScenarioPlacement placement;
+  placement.starts = {1, 0, 4};
+  // All-meet gathering so a and the stamp agent co-locating on vertex 1
+  // does not end the run (the waiter at 4 never joins). Construct needs
+  // ~400 rounds on this path; 2000 leaves the Main phase plenty of probes.
+  const auto result = scheduler.run_scenario({&a, &stamp, &waiter}, placement,
+                                             sim::Gathering::All, 2000);
+  EXPECT_FALSE(result.met);
+  EXPECT_GE(a.stats().foreign_marks, 1u);
+  EXPECT_FALSE(a.stats().found_mark);  // a foreign mark is not a find
 }
 
 }  // namespace

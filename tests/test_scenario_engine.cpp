@@ -295,7 +295,7 @@ TEST(ScenarioPrograms, ExploreRallyGathersEveryone) {
     scenario::ScenarioOptions options;
     options.seed = seed;
     const auto report = scenario::run_scenario(
-        swarm, scenario::Program::ExploreRally, g, placement, options);
+        swarm, scenario::find_program("explore-rally"), g, placement, options);
     // All five gather deterministically within the O(n) budget. (The
     // gathering vertex may precede the rally: the agents' routes to the
     // minimum ID converge, so they can be co-located one hop early.)
@@ -331,7 +331,7 @@ TEST(ScenarioPrograms, StrategiesTolerateSleepersAndStrangers) {
         "pair-anywhere"}) {
     const auto& s = scenario::find_scenario(name);
     for (const auto program :
-         {scenario::Program::Whiteboard, scenario::Program::NoWhiteboard}) {
+         {scenario::find_program("whiteboard"), scenario::find_program("no-whiteboard")}) {
       for (std::uint64_t seed = 1; seed <= 5; ++seed) {
         Rng rng(seed, 11);
         const auto placement = scenario::draw_instance(s, g, rng);
@@ -355,7 +355,7 @@ TEST(ScenarioPrograms, SyncPairWhiteboardStillMeets) {
   scenario::ScenarioOptions options;
   options.seed = 5;
   const auto agg = scenario::run_scenario_trials(
-                       sync, scenario::Program::Whiteboard, g, options, 16,
+                       sync, scenario::find_program("whiteboard"), g, options, 16,
                        runner)
                        .aggregate();
   EXPECT_EQ(agg.trials, 16u);
@@ -373,7 +373,7 @@ TEST(ScenarioTrials, BitIdenticalAcrossThreadCounts) {
   for (const unsigned threads : {1u, 4u, 8u}) {
     const runner::TrialRunner runner(runner::RunnerOptions{threads});
     const auto agg = scenario::run_scenario_trials(
-                         s, scenario::Program::Whiteboard, g, options, 24,
+                         s, scenario::find_program("whiteboard"), g, options, 24,
                          runner)
                          .aggregate();
     if (first) {

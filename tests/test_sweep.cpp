@@ -71,6 +71,68 @@ TEST(SweepSpec, RejectsUnknownKeysProgramsAndFamilies) {
                CheckError);
 }
 
+TEST(SweepSpec, UnknownLabelErrorsNameTheLineAndEnumerateTheRegistry) {
+  // An unknown program label: the error names the offending spec line and
+  // lists the valid label set (not just "parsing failed").
+  try {
+    (void)parse_spec("name = e\ntrials = 1\n"
+                     "programs = whiteboard, quantum-walk\n"
+                     "scenarios = sync-pair\ntopologies = ring\n"
+                     "sizes = 16\nseeds = 1\n");
+    FAIL() << "unknown program must throw";
+  } catch (const CheckError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("quantum-walk"), std::string::npos) << what;
+    EXPECT_NE(what.find("random-walk"), std::string::npos) << what;
+    EXPECT_NE(what.find("wait-and-sweep"), std::string::npos) << what;
+  }
+  // Same contract for an unknown scenario name.
+  try {
+    (void)parse_spec("name = e\ntrials = 1\nprograms = whiteboard\n"
+                     "\n"
+                     "scenarios = sync-pair, no-such-scenario\n"
+                     "topologies = ring\nsizes = 16\nseeds = 1\n");
+    FAIL() << "unknown scenario must throw";
+  } catch (const CheckError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("line 5"), std::string::npos) << what;
+    EXPECT_NE(what.find("no-such-scenario"), std::string::npos) << what;
+    EXPECT_NE(what.find("sync-pair"), std::string::npos) << what;
+    EXPECT_NE(what.find("swarm-gather"), std::string::npos) << what;
+  }
+}
+
+TEST(SweepSpec, WildcardAxesAndParameterizedProgramsParse) {
+  const SweepSpec spec = parse_spec(
+      "name = wild\ntrials = 1\n"
+      "programs = *\n"
+      "scenarios = *\n"
+      "topologies = ring\nsizes = 16\nseeds = 1\n");
+  EXPECT_GE(spec.programs.size(), 8u);
+  EXPECT_GE(spec.scenarios.size(), 7u);
+  EXPECT_EQ(spec.programs.front().label(), "whiteboard");
+  EXPECT_EQ(spec.scenarios.front(), "sync-pair");
+
+  // A `?key=value` suffix is part of the program's cell identity.
+  const SweepSpec lazy = parse_spec(
+      "name = lazy\ntrials = 1\n"
+      "programs = random-walk?laziness=0.25\n"
+      "scenarios = sync-pair\ntopologies = ring\nsizes = 16\nseeds = 1\n");
+  ASSERT_EQ(lazy.programs.size(), 1u);
+  EXPECT_EQ(lazy.programs[0].label(), "random-walk?laziness=0.25");
+  const auto grid = expand(lazy);
+  ASSERT_EQ(grid.size(), 1u);
+  EXPECT_NE(grid[0].key().find("random-walk?laziness=0.25"),
+            std::string::npos);
+  EXPECT_THROW((void)parse_spec(
+                   "name = bad\ntrials = 1\n"
+                   "programs = random-walk?bogus=1\n"
+                   "scenarios = sync-pair\ntopologies = ring\n"
+                   "sizes = 16\nseeds = 1\n"),
+               CheckError);
+}
+
 TEST(SweepSpec, RejectsOversizeAndEmptyAxes) {
   EXPECT_THROW((void)parse_spec("programs = whiteboard\n"
                                 "scenarios = sync-pair\n"
