@@ -66,3 +66,25 @@ if grep -q '"ok":false' sweep_registry_smoke.json; then
   grep '"ok":false' sweep_registry_smoke.json >&2
   exit 1
 fi
+
+# Fault smoke: every fault family (crash, wb-drop, wb-wipe, wb-stale,
+# churn) injected into one program on one scenario, plus the fault-free
+# control cell. Gates: no cell may error (a fault must degrade results,
+# never crash the harness), and the campaign obeys the same byte-identity
+# contract as the reliable sweep — killed after 3 cells and resumed on a
+# different thread count, the merged JSON must not change by one byte
+# (fault draws come from per-trial split streams, so thread count and
+# resume boundaries are invisible).
+rm -f fault_ci_a.jsonl fault_ci_b.jsonl fault_ci_a.json fault_ci_b.json
+./sweep --spec=fault-smoke --checkpoint=fault_ci_a.jsonl \
+        --out=fault_ci_a.json --threads=2 --quiet
+./sweep --spec=fault-smoke --checkpoint=fault_ci_b.jsonl \
+        --out=fault_ci_b.json --threads=2 --max-cells=3 --quiet
+./sweep --spec=fault-smoke --checkpoint=fault_ci_b.jsonl \
+        --out=fault_ci_b.json --threads=1 --resume --quiet
+diff fault_ci_a.json fault_ci_b.json
+if grep -q '"ok":false' fault_ci_a.json; then
+  echo "fault smoke: an injected cell crashed the harness:" >&2
+  grep '"ok":false' fault_ci_a.json >&2
+  exit 1
+fi

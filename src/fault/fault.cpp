@@ -1,0 +1,224 @@
+#include "fault/fault.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/parse.hpp"
+
+namespace fnr::fault {
+
+namespace {
+
+constexpr const char* kSiteNames[kNumSites] = {
+    "crash", "wb-drop", "wb-wipe", "wb-stale", "churn"};
+
+/// Shortest round-trip decimal form (same contract as program labels: the
+/// canonical key is a cell identity, so parsing it back must be lossless).
+std::string round_trip_double(double value) {
+  char buffer[64];
+  const auto [end, ec] = std::to_chars(buffer, buffer + sizeof buffer, value);
+  FNR_CHECK(ec == std::errc());
+  return std::string(buffer, end);
+}
+
+std::string known_families() {
+  std::ostringstream os;
+  for (const auto* name : kSiteNames) os << " " << name;
+  return os.str();
+}
+
+/// Non-negative integral parameter (skip/count/downtime ride through the
+/// shared double-valued override map).
+std::uint64_t integral_param(const std::string& clause, const char* name,
+                             double value) {
+  FNR_CHECK_MSG(value >= 0.0 && value == std::floor(value) && value <= 1e18,
+                "fault clause '" << clause << "': parameter '" << name
+                                 << "' must be a non-negative integer, got "
+                                 << value);
+  return static_cast<std::uint64_t>(value);
+}
+
+/// Parses one `family[?key=value&...]` clause into (site, spec).
+void parse_clause(const std::string& clause, FaultPlan* plan) {
+  const auto question = clause.find('?');
+  const std::string family = clause.substr(0, question);
+  FNR_CHECK_MSG(!family.empty(), "fault clause '"
+                                     << clause
+                                     << "': empty family before '?'; known:"
+                                     << known_families());
+  std::size_t site_index = kNumSites;
+  for (std::size_t i = 0; i < kNumSites; ++i)
+    if (family == kSiteNames[i]) site_index = i;
+  FNR_CHECK_MSG(site_index < kNumSites, "unknown fault family '"
+                                            << family << "'; known:"
+                                            << known_families());
+  const auto site = static_cast<Site>(site_index);
+
+  SiteSpec spec;
+  spec.armed = true;
+  if (question != std::string::npos) {
+    const std::string suffix = clause.substr(question + 1);
+    FNR_CHECK_MSG(!suffix.empty(),
+                  "fault clause '" << clause << "': empty parameter suffix");
+    std::size_t start = 0;
+    for (;;) {
+      const auto amp = suffix.find('&', start);
+      const std::string token =
+          amp == std::string::npos ? suffix.substr(start)
+                                   : suffix.substr(start, amp - start);
+      FNR_CHECK_MSG(!token.empty(), "fault clause '"
+                                        << clause
+                                        << "': empty 'key=value' pair in "
+                                           "parameter suffix");
+      const auto eq = token.find('=');
+      FNR_CHECK_MSG(eq != std::string::npos && eq > 0,
+                    "fault clause '" << clause << "': parameter '" << token
+                                     << "' is not key=value");
+      const std::string name = token.substr(0, eq);
+      const bool known = name == "rate" || name == "skip" || name == "count" ||
+                         (site == Site::AgentCrash && name == "downtime");
+      FNR_CHECK_MSG(known, "fault family '"
+                               << family << "' has no parameter '" << name
+                               << "'; declared: rate skip count"
+                               << (site == Site::AgentCrash ? " downtime"
+                                                            : ""));
+      FNR_CHECK_MSG(!spec.overrides.contains(name),
+                    "fault clause '" << clause << "' repeats parameter '"
+                                     << name << "'");
+      const double value = parse_finite_double(
+          token.substr(eq + 1), "fault parameter '" + name + "'");
+      spec.overrides[name] = value;
+      if (name == "rate") {
+        spec.rate = value;
+      } else if (name == "skip") {
+        spec.skip = integral_param(clause, "skip", value);
+      } else if (name == "count") {
+        spec.count = integral_param(clause, "count", value);
+      } else {
+        spec.downtime = integral_param(clause, "downtime", value);
+      }
+      if (amp == std::string::npos) break;
+      start = amp + 1;
+    }
+  }
+  plan->arm(site, std::move(spec));
+}
+
+}  // namespace
+
+const char* to_string(Site site) noexcept {
+  return kSiteNames[static_cast<std::size_t>(site)];
+}
+
+FaultPlan FaultPlan::parse(const std::string& token) {
+  FaultPlan plan;
+  if (token == "none") return plan;
+  FNR_CHECK_MSG(!token.empty(),
+                "empty fault spec (use 'none' for the fault-free plan)");
+  std::size_t start = 0;
+  for (;;) {
+    const auto plus = token.find('+', start);
+    const std::string clause = plus == std::string::npos
+                                   ? token.substr(start)
+                                   : token.substr(start, plus - start);
+    FNR_CHECK_MSG(!clause.empty(),
+                  "fault spec '" << token << "': empty clause between '+'");
+    FNR_CHECK_MSG(clause != "none",
+                  "fault spec '" << token
+                                 << "': 'none' cannot combine with clauses");
+    parse_clause(clause, &plan);
+    if (plus == std::string::npos) break;
+    start = plus + 1;
+  }
+  return plan;
+}
+
+void FaultPlan::arm(Site site, SiteSpec spec) {
+  const char* family = to_string(site);
+  FNR_CHECK_MSG(!sites_[static_cast<std::size_t>(site)].armed,
+                "fault family '" << family << "' is armed twice");
+  FNR_CHECK_MSG(std::isfinite(spec.rate) && spec.rate >= 0.0 &&
+                    spec.rate <= 1.0,
+                "fault family '" << family << "': rate must be a finite "
+                                 << "number in [0, 1], got " << spec.rate);
+  if (site == Site::AgentCrash)
+    FNR_CHECK_MSG(spec.downtime >= 1,
+                  "fault family 'crash': downtime must be >= 1 rounds, got "
+                      << spec.downtime);
+  spec.armed = true;
+  sites_[static_cast<std::size_t>(site)] = std::move(spec);
+}
+
+bool FaultPlan::active() const noexcept {
+  for (const auto& spec : sites_)
+    if (spec.armed) return true;
+  return false;
+}
+
+std::string FaultPlan::key() const {
+  std::ostringstream os;
+  bool first_clause = true;
+  for (std::size_t i = 0; i < kNumSites; ++i) {
+    if (!sites_[i].armed) continue;
+    if (!first_clause) os << "+";
+    first_clause = false;
+    os << kSiteNames[i];
+    bool first_param = true;
+    for (const auto& [name, value] : sites_[i].overrides) {
+      os << (first_param ? "?" : "&") << name << "="
+         << round_trip_double(value);
+      first_param = false;
+    }
+  }
+  return os.str();
+}
+
+bool FaultPlan::whiteboard_only() const noexcept {
+  bool any = false;
+  for (std::size_t i = 0; i < kNumSites; ++i) {
+    if (!sites_[i].armed) continue;
+    const auto site = static_cast<Site>(i);
+    if (site == Site::AgentCrash || site == Site::EdgeChurn) return false;
+    any = true;
+  }
+  return any;
+}
+
+FaultSession::FaultSession(const FaultPlan& plan, Rng rng)
+    : plan_(&plan), rng_(rng), churn_seed_(rng_()) {}
+
+bool FaultSession::reach(Site site) {
+  const SiteSpec& spec = plan_->spec(site);
+  if (!spec.armed || spec.rate <= 0.0) return false;
+  SiteState& st = state_[static_cast<std::size_t>(site)];
+  if (st.seen < spec.skip) {
+    ++st.seen;
+    return false;
+  }
+  if (spec.count != 0 && st.fired >= spec.count) return false;
+  if (!rng_.bernoulli(spec.rate)) return false;
+  ++st.fired;
+  return true;
+}
+
+bool FaultSession::edge_down(std::uint64_t round, graph::VertexIndex u,
+                             graph::VertexIndex v) const {
+  const SiteSpec& spec = plan_->spec(Site::EdgeChurn);
+  if (!spec.armed || spec.rate <= 0.0) return false;
+  if (round < spec.skip) return false;
+  if (spec.count != 0 && round >= spec.skip + spec.count) return false;
+  const std::uint64_t lo = u < v ? u : v;
+  const std::uint64_t hi = u < v ? v : u;
+  // One splitmix64 step over the mixed identity gives a uniform hash; the
+  // same (seed, round, edge) triple always lands on the same side of rate.
+  std::uint64_t state = churn_seed_ ^ (round * 0x9e3779b97f4a7c15ULL) ^
+                        (lo * 0xbf58476d1ce4e5b9ULL) ^
+                        (hi * 0x94d049bb133111ebULL);
+  const double draw =
+      static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+  return draw < spec.rate;
+}
+
+}  // namespace fnr::fault

@@ -73,6 +73,12 @@ TrialAggregate TrialAccumulator::aggregate() const {
     agg.total_marks += out.whiteboard_marks;
     moves_a += static_cast<double>(out.moves_a);
     moves_b += static_cast<double>(out.moves_b);
+    agg.fault_totals.crashes += out.faults.crashes;
+    agg.fault_totals.restarts += out.faults.restarts;
+    agg.fault_totals.writes_dropped += out.faults.writes_dropped;
+    agg.fault_totals.wipes += out.faults.wipes;
+    agg.fault_totals.stale_reads += out.faults.stale_reads;
+    agg.fault_totals.moves_blocked += out.faults.moves_blocked;
   }
   const auto n = static_cast<double>(agg.trials);
   agg.success_rate = static_cast<double>(agg.successes) / n;
@@ -86,7 +92,9 @@ TrialAggregate TrialAccumulator::aggregate() const {
 std::string TrialAggregate::csv_header() {
   return "label,trials,successes,failures,success_rate,rounds_mean,"
          "rounds_median,rounds_p90,rounds_p95,rounds_min,rounds_max,"
-         "total_marks,mean_marks,mean_moves_a,mean_moves_b";
+         "total_marks,mean_marks,mean_moves_a,mean_moves_b,"
+         "fault_crashes,fault_restarts,fault_writes_dropped,fault_wipes,"
+         "fault_stale_reads,fault_moves_blocked";
 }
 
 std::string TrialAggregate::to_csv_row(const std::string& label) const {
@@ -98,7 +106,10 @@ std::string TrialAggregate::to_csv_row(const std::string& label) const {
      << ',' << format_double(rounds.min, 2)
      << ',' << format_double(rounds.max, 2) << ',' << total_marks << ','
      << format_double(mean_marks, 2) << ',' << format_double(mean_moves_a, 2)
-     << ',' << format_double(mean_moves_b, 2);
+     << ',' << format_double(mean_moves_b, 2) << ',' << fault_totals.crashes
+     << ',' << fault_totals.restarts << ',' << fault_totals.writes_dropped
+     << ',' << fault_totals.wipes << ',' << fault_totals.stale_reads << ','
+     << fault_totals.moves_blocked;
   return os.str();
 }
 
@@ -116,7 +127,18 @@ std::string TrialAggregate::to_json() const {
      << ",\"total_marks\":" << total_marks
      << ",\"mean_marks\":" << format_double(mean_marks, 2)
      << ",\"mean_moves_a\":" << format_double(mean_moves_a, 2)
-     << ",\"mean_moves_b\":" << format_double(mean_moves_b, 2) << "}";
+     << ",\"mean_moves_b\":" << format_double(mean_moves_b, 2);
+  // Emitted only when any injection actually fired: fault-free aggregates
+  // keep the exact bytes they had before the fault layer existed.
+  if (fault_totals.any()) {
+    os << ",\"faults\":{\"crashes\":" << fault_totals.crashes
+       << ",\"restarts\":" << fault_totals.restarts
+       << ",\"writes_dropped\":" << fault_totals.writes_dropped
+       << ",\"wipes\":" << fault_totals.wipes
+       << ",\"stale_reads\":" << fault_totals.stale_reads
+       << ",\"moves_blocked\":" << fault_totals.moves_blocked << "}";
+  }
+  os << "}";
   return os.str();
 }
 

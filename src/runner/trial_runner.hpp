@@ -18,6 +18,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "sim/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -40,6 +41,8 @@ struct TrialOutcome {
   std::uint64_t moves_a = 0;
   std::uint64_t moves_b = 0;
   std::uint64_t whiteboard_marks = 0;  ///< b's writes (whiteboard strategies)
+  /// Fault-injection counters for this trial (all zero on reliable runs).
+  fault::FaultStats faults;
 
   /// Lifts a Scheduler RunResult into an outcome.
   [[nodiscard]] static TrialOutcome from_run(std::uint64_t trial,
@@ -60,6 +63,10 @@ struct TrialAggregate {
   double mean_marks = 0.0;
   double mean_moves_a = 0.0;
   double mean_moves_b = 0.0;
+  /// Summed fault counters across the batch. All-zero for reliable runs —
+  /// and to_json() then omits the "faults" block entirely, keeping
+  /// fault-free JSON byte-identical to builds without the fault layer.
+  fault::FaultStats fault_totals;
 
   /// CSV column names matching to_csv_row (leading `label` column).
   [[nodiscard]] static std::string csv_header();

@@ -58,6 +58,10 @@ void ProgramDef::validate() const {
                 "program '" << label
                             << "' needs whiteboards but registers a "
                                "whiteboard-free model");
+  for (const auto& [name, fallback] : parameters)
+    FNR_CHECK_MSG(std::isfinite(fallback),
+                  "program '" << label << "': parameter '" << name
+                              << "' declares a non-finite default");
 }
 
 // --- handles -----------------------------------------------------------------
@@ -70,10 +74,20 @@ const ProgramDef& Program::def() const {
 
 double Program::param(const std::string& name) const {
   const ProgramDef& d = def();
+  // NaN poisons every comparison downstream (a factory's range check like
+  // `v >= 0 && v < 1` is silently false-false), so reject non-finite
+  // values here by name instead of letting them surface as a confusing
+  // range error — or worse, no error at all.
+  const auto checked = [&](double value) {
+    FNR_CHECK_MSG(std::isfinite(value),
+                  "program '" << d.label << "': parameter '" << name
+                              << "' must be finite, got " << value);
+    return value;
+  };
   if (const auto it = overrides_.find(name); it != overrides_.end())
-    return it->second;
+    return checked(it->second);
   if (const auto it = d.parameters.find(name); it != d.parameters.end())
-    return it->second;
+    return checked(it->second);
   FNR_CHECK_MSG(false, "program '" << d.label << "' has no parameter '"
                                    << name << "'");
   throw std::logic_error("unreachable");
@@ -367,16 +381,30 @@ bool has_program(const std::string& label) {
 Program find_program(const std::string& spec) {
   const auto question = spec.find('?');
   const std::string label = spec.substr(0, question);
+  FNR_CHECK_MSG(!label.empty(), "program spec '"
+                                    << spec << "': empty label before '?'; "
+                                    << "known:" << known_labels());
   const ProgramDef* def = find_def(label);
   FNR_CHECK_MSG(def != nullptr,
                 "unknown program '" << label << "'; known:" << known_labels());
   std::map<std::string, double> overrides;
   if (question != std::string::npos) {
-    std::istringstream suffix(spec.substr(question + 1));
-    std::string token;
-    while (std::getline(suffix, token, '&')) {
+    const std::string suffix = spec.substr(question + 1);
+    FNR_CHECK_MSG(!suffix.empty(),
+                  "program '" << spec << "': empty override suffix after '?'");
+    // Manual '&' walk: getline drops a trailing empty token, which used to
+    // let "label?key=value&" through unrejected.
+    std::size_t start = 0;
+    for (;;) {
+      const auto amp = suffix.find('&', start);
+      const std::string token =
+          amp == std::string::npos ? suffix.substr(start)
+                                   : suffix.substr(start, amp - start);
+      FNR_CHECK_MSG(!token.empty(), "program '"
+                                        << spec
+                                        << "': empty override (stray '&')");
       const auto eq = token.find('=');
-      FNR_CHECK_MSG(eq != std::string::npos && eq > 0,
+      FNR_CHECK_MSG(eq != std::string::npos && eq > 0 && eq + 1 < token.size(),
                     "program '" << spec << "': override '" << token
                                 << "' is not key=value");
       const std::string name = token.substr(0, eq);
@@ -394,11 +422,11 @@ Program find_program(const std::string& spec) {
                     "program '" << spec << "' repeats parameter '" << name
                                 << "'");
       overrides[name] =
-          parse_double(token.substr(eq + 1),
-                       "program parameter '" + name + "'");
+          parse_finite_double(token.substr(eq + 1),
+                              "program parameter '" + name + "'");
+      if (amp == std::string::npos) break;
+      start = amp + 1;
     }
-    FNR_CHECK_MSG(!overrides.empty(),
-                  "program '" << spec << "': empty override suffix");
   }
   return make_program(*def, std::move(overrides));
 }

@@ -1,5 +1,6 @@
 #include "scenario/run.hpp"
 
+#include <deque>
 #include <memory>
 #include <sstream>
 #include <vector>
@@ -87,6 +88,36 @@ ScenarioReport run_scenario(const Scenario& scenario, const Program& program,
   for (const auto& agent : agents) pointers.push_back(agent.get());
 
   sim::Scheduler& scheduler = scratch.scheduler_for(g, def.model);
+  if (!options.fault.active()) {
+    report.run = scheduler.run_scenario(pointers, placement,
+                                        scenario.gathering, report.round_cap);
+    return report;
+  }
+
+  // Faulty run: the session and the reviver stream split off seed_rng only
+  // now, after the k agent builds, so the agents' own streams match the
+  // fault-free schedule exactly. Crash revivals re-run the slot's factory
+  // with fresh splits in revival order (single-threaded inside one run, so
+  // the order — and hence the replay — is deterministic).
+  fault::FaultSession session(options.fault, seed_rng.split());
+  Rng revive_rng = seed_rng.split();
+  std::deque<std::unique_ptr<sim::Agent>> revived;  // stable addresses
+  session.revive = [&](std::size_t slot) -> sim::Agent* {
+    AgentBuild build{g,    options.params,      program,
+                     slot, scenario.num_agents, revive_rng.split()};
+    const AgentFactory& factory =
+        def.symmetric ? def.symmetric : (slot == 0 ? def.seeker : def.marker);
+    revived.push_back(factory(build));
+    return revived.back().get();
+  };
+
+  // The scratch's scheduler outlives this call; never leave it pointing at
+  // the stack-local session (even when the run throws).
+  struct SessionGuard {
+    sim::Scheduler& scheduler;
+    ~SessionGuard() { scheduler.set_fault_session(nullptr); }
+  } guard{scheduler};
+  scheduler.set_fault_session(&session);
   report.run = scheduler.run_scenario(pointers, placement, scenario.gathering,
                                       report.round_cap);
   return report;
@@ -105,6 +136,7 @@ runner::TrialOutcome to_outcome(std::uint64_t trial, std::uint64_t seed,
   for (std::size_t i = 1; i < run.agents.size(); ++i)
     out.moves_b += run.agents[i].moves;
   out.whiteboard_marks = run.whiteboard_writes;
+  out.faults = run.faults;
   return out;
 }
 

@@ -18,6 +18,7 @@
 
 #include "core/params.hpp"
 #include "core/rendezvous.hpp"
+#include "fault/fault.hpp"
 #include "runner/trial_runner.hpp"
 #include "scenario/program_registry.hpp"
 #include "scenario/scenario.hpp"
@@ -32,6 +33,12 @@ struct ScenarioOptions {
   std::uint64_t seed = 1;
   /// 0 → auto cap (strategy cap plus the scenario's delay bound).
   std::uint64_t max_rounds = 0;
+  /// Fault plan for the run (default: inactive — the reliable substrate).
+  /// When active, each run builds a FaultSession from a split of the run
+  /// seed, drawn *after* the agent streams, so the fault-free seed schedule
+  /// — and therefore every fault-free result — is byte-identical to a
+  /// build without the fault layer.
+  fault::FaultPlan fault;
 };
 
 /// Outcome of one scenario instance plus the cap it ran under.

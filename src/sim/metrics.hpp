@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "graph/graph.hpp"
 #include "sim/model.hpp"
 
@@ -62,6 +63,8 @@ struct ScenarioRunResult {
   std::uint64_t whiteboard_reads = 0;
   std::uint64_t whiteboard_writes = 0;
   std::size_t whiteboards_used = 0;
+  /// Faults that fired during the run (all-zero without a fault session).
+  fault::FaultStats faults;
   std::vector<AgentRunStats> agents;  ///< size k, indexed by agent
 
   /// Projects a k=2 scenario result onto the classic two-agent RunResult.

@@ -51,6 +51,10 @@ void Scheduler::ensure_arena(std::size_t k) {
     pos_.reserve(k);
     arrival_port_.resize(k);
     actions_.resize(k);
+    run_agents_.resize(k);
+    wake_at_.resize(k);
+    local_base_.resize(k);
+    needs_revive_.resize(k);
     views_.resize(k);
     for (auto& view : views_) {
       // Graph/model bindings never change for this arena; set them once.
@@ -94,6 +98,9 @@ RunResult Scheduler::run(Agent& agent_a, Agent& agent_b, Placement placement,
                 "agents must start at distinct vertices");
   boards_.clear_all();
   ensure_arena(2);
+  // The paper's reliable two-agent model: never inject here, and clear any
+  // session pointer a previous faulty scenario run left in the arena views.
+  views_[0].faults_ = views_[1].faults_ = nullptr;
 
   Agent* const agents[2] = {&agent_a, &agent_b};
   graph::VertexIndex pos[2] = {placement.a_start, placement.b_start};
@@ -176,8 +183,18 @@ ScenarioRunResult Scheduler::run_scenario(const std::vector<Agent*>& agents,
 
   ScenarioRunResult result;
   result.agents.resize(k);
-  for (std::size_t i = 0; i < k; ++i)
+  for (std::size_t i = 0; i < k; ++i) {
     result.agents[i].wake_delay = placement.delay_of(i);
+    // The fault-free round loop below is the original loop with wake_at_
+    // and local_base_ pre-filled to the wake delay: without a session the
+    // per-round residue is exactly one null-check per agent (the
+    // allocation-guard and golden contracts are measured in that state).
+    run_agents_[i] = agents[i];
+    wake_at_[i] = placement.delay_of(i);
+    local_base_[i] = placement.delay_of(i);
+    needs_revive_[i] = 0;
+    views_[i].faults_ = faults_;
+  }
 
   std::copy(placement.starts.begin(), placement.starts.end(), pos_.begin());
 
@@ -195,18 +212,50 @@ ScenarioRunResult Scheduler::run_scenario(const std::vector<Agent*>& agents,
     if (round == max_rounds) break;  // budget exhausted without gathering
     result.rounds = round + 1;
 
+    // wb-wipe: one opportunity per round, before anyone observes or acts.
+    if (faults_ != nullptr && faults_->reach(fault::Site::WhiteboardWipe)) {
+      boards_.clear_all();
+      ++faults_->stats.wipes;
+    }
+
     for (std::size_t i = 0; i < k; ++i) {
-      const std::uint64_t delay = placement.delay_of(i);
-      if (round < delay) {
-        actions_[i] = Action::stay();  // asleep: present but inert
+      if (round < wake_at_[i]) {
+        actions_[i] = Action::stay();  // asleep or down: present but inert
         continue;
       }
+      if (faults_ != nullptr) {
+        if (needs_revive_[i]) {
+          // Restart after the downtime: a factory-fresh instance on the
+          // crash vertex, local clock back at 0, arrival port forgotten.
+          FNR_CHECK_MSG(faults_->revive != nullptr,
+                        "agent crash fired but the fault session has no "
+                        "reviver installed");
+          Agent* fresh = faults_->revive(i);
+          FNR_CHECK_MSG(fresh != nullptr,
+                        "fault reviver built no agent for slot " << i);
+          run_agents_[i] = fresh;
+          needs_revive_[i] = 0;
+          local_base_[i] = round;
+          arrival_port_[i].reset();
+          ++faults_->stats.restarts;
+        }
+        if (faults_->reach(fault::Site::AgentCrash)) {
+          // Crash now: state is lost, the agent is inert for the downtime
+          // window and revived on its first round back.
+          ++faults_->stats.crashes;
+          needs_revive_[i] = 1;
+          wake_at_[i] = round + faults_->crash_downtime();
+          actions_[i] = Action::stay();
+          continue;
+        }
+      }
       aim_view(i, i == 0 ? AgentName::A : AgentName::B,
-               round - delay /* the agent's local clock */, pos_[i],
+               round - local_base_[i] /* the agent's local clock */, pos_[i],
                arrival_port_[i]);
-      actions_[i] = agents[i]->step(views_[i]);
-      result.agents[i].peak_memory_words = std::max(
-          result.agents[i].peak_memory_words, agents[i]->memory_words());
+      actions_[i] = run_agents_[i]->step(views_[i]);
+      result.agents[i].peak_memory_words =
+          std::max(result.agents[i].peak_memory_words,
+                   run_agents_[i]->memory_words());
     }
 
     // Whiteboard writes happen at the agents' current vertices before the
@@ -218,7 +267,12 @@ ScenarioRunResult Scheduler::run_scenario(const std::vector<Agent*>& agents,
       if (actions_[i].whiteboard_write.has_value()) {
         FNR_CHECK_MSG(model_.whiteboards,
                       "agent wrote a whiteboard in a whiteboard-free model");
-        boards_.write(pos_[i], *actions_[i].whiteboard_write);
+        if (faults_ != nullptr &&
+            faults_->reach(fault::Site::WhiteboardDrop)) {
+          ++faults_->stats.writes_dropped;  // the write never lands
+        } else {
+          boards_.write(pos_[i], *actions_[i].whiteboard_write);
+        }
       }
     }
 
@@ -229,8 +283,17 @@ ScenarioRunResult Scheduler::run_scenario(const std::vector<Agent*>& agents,
         continue;
       }
       const graph::VertexIndex from = pos_[i];
-      pos_[i] = graph_.neighbor_at_port(from, port);
-      arrival_port_[i] = graph_.port_to(pos_[i], from);
+      const graph::VertexIndex to = graph_.neighbor_at_port(from, port);
+      if (faults_ != nullptr && faults_->churn_armed() &&
+          faults_->edge_down(round, from, to)) {
+        // churn: the traversal fails and the agent holds position, exactly
+        // like a stay (it knows it did not move — the arrival port clears).
+        ++faults_->stats.moves_blocked;
+        arrival_port_[i].reset();
+        continue;
+      }
+      pos_[i] = to;
+      arrival_port_[i] = graph_.port_to(to, from);
       ++result.agents[i].moves;
     }
   }
@@ -238,6 +301,7 @@ ScenarioRunResult Scheduler::run_scenario(const std::vector<Agent*>& agents,
   result.whiteboard_reads = boards_.reads() - wb_reads0;
   result.whiteboard_writes = boards_.writes() - wb_writes0;
   result.whiteboards_used = boards_.used_boards();
+  if (faults_ != nullptr) result.faults = faults_->stats;
   FNR_TRACE("scenario finished: " << result.describe());
   return result;
 }
@@ -247,6 +311,7 @@ RunResult Scheduler::run_single(Agent& agent, graph::VertexIndex start,
   FNR_CHECK(start < graph_.num_vertices());
   boards_.clear_all();
   ensure_arena(1);
+  views_[0].faults_ = nullptr;  // reliable, like Scheduler::run
 
   RunResult result;
   graph::VertexIndex pos = start;

@@ -33,6 +33,7 @@
 #include <optional>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "graph/graph.hpp"
 #include "sim/metrics.hpp"
 #include "sim/model.hpp"
@@ -104,6 +105,17 @@ class Scheduler {
   /// The computational model runs execute under.
   [[nodiscard]] const Model& model() const noexcept { return model_; }
 
+  /// Arms subsequent run_scenario calls with a fault session (null
+  /// disarms; the session must outlive those runs). With no session the
+  /// round loop is bit-identical to a build without the fault layer — the
+  /// only residue is one pointer null-check per agent-round — and the
+  /// golden / allocation-guard contracts are measured in that state.
+  /// Scheduler::run and run_single (the paper's reliable two-agent model)
+  /// never inject regardless of the session.
+  void set_fault_session(fault::FaultSession* session) noexcept {
+    faults_ = session;
+  }
+
  private:
   /// Grows the per-agent arena to `k` slots and resets the per-run state
   /// (positions untouched — callers seed them). Allocates only when `k`
@@ -118,12 +130,21 @@ class Scheduler {
   const graph::Graph& graph_;
   Model model_;
   Whiteboards boards_;
+  fault::FaultSession* faults_ = nullptr;  // non-owning; null = reliable
 
   // --- per-run arena (reused across runs; zero-allocation after warm-up) ---
   std::vector<graph::VertexIndex> pos_;
   std::vector<std::optional<std::size_t>> arrival_port_;
   std::vector<Action> actions_;
   std::vector<View> views_;  // one per agent slot, caches persist
+  // Fault bookkeeping, sized with the arena so faulty runs stay
+  // allocation-free too: the live instance per slot (crash revival swaps
+  // pointers), the round each slot acts again (wake delay, then crash
+  // downtime), the local-clock base, and the pending-revival flags.
+  std::vector<Agent*> run_agents_;
+  std::vector<std::uint64_t> wake_at_;
+  std::vector<std::uint64_t> local_base_;
+  std::vector<char> needs_revive_;
 };
 
 /// Per-worker scheduler cache: hands out a Scheduler arena for a

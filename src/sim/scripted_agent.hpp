@@ -20,6 +20,20 @@ class ScriptedAgent : public Agent {
   /// Executes the front of the plan (refilling via on_idle when empty);
   /// an empty refill means the agent stays put this round.
   Action step(const View& view) final {
+    // A reliable substrate lands every move on its target; standing
+    // anywhere else means edge churn blocked the traversal, and the agent
+    // holds position re-issuing the same hop until it goes through. The
+    // retry draws nothing and runs on_idle only after the arrival it was
+    // scripted for, so plans stay aligned with the agent's true position.
+    if (last_move_.has_value()) {
+      if (view.here() != *last_move_) {
+        Action action;
+        action.move_port = view.port_of(*last_move_);
+        return action;
+      }
+      last_move_.reset();
+    }
+
     if (ops_.empty()) on_idle(view);
     if (ops_.empty()) return Action::stay();
 
@@ -36,7 +50,10 @@ class ScriptedAgent : public Agent {
 
     Action action;
     action.whiteboard_write = op.write;
-    if (op.move_to.has_value()) action.move_port = view.port_of(*op.move_to);
+    if (op.move_to.has_value()) {
+      action.move_port = view.port_of(*op.move_to);
+      last_move_ = *op.move_to;
+    }
     return action;
   }
 
@@ -90,6 +107,9 @@ class ScriptedAgent : public Agent {
     std::optional<std::uint64_t> wait_until;
   };
   std::deque<Op> ops_;
+  /// Target of the last issued move, pending arrival confirmation (churn
+  /// blocks traversals; the hop is retried until the agent stands there).
+  std::optional<graph::VertexId> last_move_;
 };
 
 }  // namespace fnr::sim

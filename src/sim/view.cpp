@@ -1,5 +1,7 @@
 #include "sim/view.hpp"
 
+#include "fault/fault.hpp"
+
 namespace fnr::sim {
 
 const std::vector<graph::VertexId>& View::neighbor_ids() const {
@@ -29,7 +31,16 @@ std::size_t View::port_of(graph::VertexId id) const {
 std::optional<std::uint64_t> View::whiteboard() const {
   FNR_CHECK_MSG(model_.whiteboards, "model has no whiteboards");
   FNR_CHECK(boards_ != nullptr);
-  return boards_->read(here_index_);
+  auto value = boards_->read(here_index_);
+  // wb-stale: the read happened (the access counter moved) but the agent
+  // observes ⊥ instead of the stored value — the signature of a replica
+  // that has not caught up yet. Only a stored value can be missed.
+  if (faults_ != nullptr && value.has_value() &&
+      faults_->reach(fault::Site::WhiteboardStale)) {
+    ++faults_->stats.stale_reads;
+    return std::nullopt;
+  }
+  return value;
 }
 
 }  // namespace fnr::sim

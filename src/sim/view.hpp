@@ -22,6 +22,10 @@
 #include "sim/model.hpp"
 #include "sim/whiteboard.hpp"
 
+namespace fnr::fault {
+class FaultSession;
+}  // namespace fnr::fault
+
 namespace fnr::sim {
 
 class Scheduler;
@@ -91,6 +95,11 @@ class View {
   Model model_;
   const graph::Graph* graph_ = nullptr;  // non-owning; private to the View
   Whiteboards* boards_ = nullptr;        // non-owning; null w/o whiteboards
+  // Active fault session, or null (the scheduler re-points this at the
+  // start of every run, so a faulty run can never leak injection into a
+  // later fault-free run on the same arena). Consulted only by
+  // whiteboard() for wb-stale reads.
+  fault::FaultSession* faults_ = nullptr;
   graph::VertexIndex here_index_ = graph::kNoVertex;
   std::optional<std::size_t> arrival_port_;
   // Neighbor-ID cache, keyed by the vertex it was filled for. The graph is

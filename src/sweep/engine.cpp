@@ -107,17 +107,26 @@ std::map<std::string, CheckpointEntry> load_checkpoint(
   std::map<std::string, CheckpointEntry> done;
   std::ifstream in(path);
   if (!in.good()) return done;  // no checkpoint yet — nothing to resume
+  std::vector<std::string> lines;
   std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
+  while (std::getline(in, line)) lines.push_back(line);
+  // Only the final non-empty line can legitimately be unparsable: lines
+  // are flushed per cell, so a kill mid-write tears at most the last one.
+  std::size_t last = lines.size();
+  while (last > 0 && lines[last - 1].empty()) --last;
+  for (std::size_t i = 0; i < last; ++i) {
+    if (lines[i].empty()) continue;
     std::string key;
     try {
-      CheckpointEntry entry = parse_checkpoint_line(line, &key);
+      CheckpointEntry entry = parse_checkpoint_line(lines[i], &key);
       done[key] = std::move(entry);
-    } catch (const CheckError&) {
-      // A torn final line is the expected signature of a killed campaign;
-      // everything before it is intact because lines are flushed per cell.
-      break;
+    } catch (const CheckError& error) {
+      if (i + 1 == last) break;  // torn final line: drop it, cell re-runs
+      // A bad line with intact records after it is corruption, not an
+      // interrupt signature. The old behavior — stop scanning — silently
+      // discarded every later completed cell; fail loudly instead.
+      throw CheckError("sweep checkpoint '" + path + "' line " +
+                       std::to_string(i + 1) + ": " + error.what());
     }
   }
   return done;
@@ -173,6 +182,7 @@ CellResult execute_cell(const SweepCell& cell, GraphCache& cache,
     const scenario::Scenario& scen = scenario::find_scenario(cell.scenario);
     scenario::ScenarioOptions options;
     options.seed = cell.seed;
+    options.fault = cell.fault;
     const auto acc = scenario::run_scenario_trials(
         scen, cell.program, g, options, cell.trials, trial_runner);
     result.agg_json = acc.aggregate().to_json();
@@ -313,40 +323,6 @@ std::vector<CellResult> results_from_checkpoints(
 
 // --- reporting ---------------------------------------------------------------
 
-std::string to_json(const SweepSpec& spec,
-                    const std::vector<CellResult>& cells) {
-  std::vector<const CellResult*> ordered;
-  ordered.reserve(cells.size());
-  for (const auto& cell : cells) ordered.push_back(&cell);
-  std::sort(ordered.begin(), ordered.end(),
-            [](const CellResult* a, const CellResult* b) {
-              return a->cell.index < b->cell.index;
-            });
-  std::ostringstream os;
-  os << "{\n"
-     << "  \"schema\": \"" << sweep_schema_tag() << "\",\n"
-     << "  \"spec\": \"" << json_safe(spec.name) << "\",\n"
-     << "  \"cells\": [\n";
-  for (std::size_t i = 0; i < ordered.size(); ++i) {
-    const CellResult& r = *ordered[i];
-    os << "    {\"key\":\"" << json_safe(r.cell.key()) << "\",\"program\":\""
-       << scenario::to_string(r.cell.program) << "\",\"scenario\":\""
-       << json_safe(r.cell.scenario) << "\",\"topology\":\""
-       << json_safe(r.cell.topology.key()) << "\",\"n\":" << r.cell.n
-       << ",\"achieved_n\":" << r.cell.achieved_n
-       << ",\"seed\":" << r.cell.seed << ",\"trials\":" << r.cell.trials
-       << ",\"ok\":" << (r.ok ? "true" : "false");
-    if (r.ok) {
-      os << ",\"agg\":" << r.agg_json;
-    } else {
-      os << ",\"error\":\"" << json_safe(r.error) << "\"";
-    }
-    os << "}" << (i + 1 < ordered.size() ? "," : "") << "\n";
-  }
-  os << "  ]\n}";
-  return os.str();
-}
-
 namespace {
 
 /// Rebuilds a TrialAggregate from the verbatim aggregate JSON a cell
@@ -397,6 +373,27 @@ runner::TrialAggregate parse_agg_json(const std::string& json) {
       agg.mean_moves_a = cursor.parse_number();
     } else if (field == "mean_moves_b") {
       agg.mean_moves_b = cursor.parse_number();
+    } else if (field == "faults") {
+      cursor.expect('{');
+      bool inner_first = true;
+      while (!cursor.peek_is('}')) {
+        if (!inner_first) cursor.expect(',');
+        inner_first = false;
+        const std::string counter = cursor.parse_string();
+        cursor.expect(':');
+        const std::uint64_t value = cursor.parse_uint64();
+        if (counter == "crashes") agg.fault_totals.crashes = value;
+        else if (counter == "restarts") agg.fault_totals.restarts = value;
+        else if (counter == "writes_dropped")
+          agg.fault_totals.writes_dropped = value;
+        else if (counter == "wipes") agg.fault_totals.wipes = value;
+        else if (counter == "stale_reads") agg.fault_totals.stale_reads = value;
+        else if (counter == "moves_blocked")
+          agg.fault_totals.moves_blocked = value;
+        else FNR_CHECK_MSG(false, "sweep aggregate: unknown faults field '"
+                                      << counter << "'");
+      }
+      cursor.expect('}');
     } else {
       FNR_CHECK_MSG(false,
                     "sweep aggregate: unknown field '" << field << "'");
@@ -408,6 +405,66 @@ runner::TrialAggregate parse_agg_json(const std::string& json) {
 }
 
 }  // namespace
+
+std::string to_json(const SweepSpec& spec,
+                    const std::vector<CellResult>& cells) {
+  std::vector<const CellResult*> ordered;
+  ordered.reserve(cells.size());
+  for (const auto& cell : cells) ordered.push_back(&cell);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const CellResult* a, const CellResult* b) {
+              return a->cell.index < b->cell.index;
+            });
+  // Fault-free twins by key: a faulty cell differs from its control only
+  // by the `|fault=...` key suffix, so stripping the plan finds the twin
+  // and the report can carry robustness deltas (success under f, overhead
+  // vs fault-free) without a second campaign. Twin lookup walks verbatim
+  // aggregate bytes, so the deltas are as deterministic as the cells.
+  std::map<std::string, const CellResult*> fault_free;
+  for (const CellResult* r : ordered)
+    if (r->ok && !r->cell.fault.active()) fault_free[r->cell.key()] = r;
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"schema\": \"" << sweep_schema_tag() << "\",\n"
+     << "  \"spec\": \"" << json_safe(spec.name) << "\",\n"
+     << "  \"cells\": [\n";
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
+    const CellResult& r = *ordered[i];
+    os << "    {\"key\":\"" << json_safe(r.cell.key()) << "\",\"program\":\""
+       << scenario::to_string(r.cell.program) << "\",\"scenario\":\""
+       << json_safe(r.cell.scenario) << "\",\"topology\":\""
+       << json_safe(r.cell.topology.key()) << "\",\"n\":" << r.cell.n
+       << ",\"achieved_n\":" << r.cell.achieved_n
+       << ",\"seed\":" << r.cell.seed << ",\"trials\":" << r.cell.trials;
+    if (r.cell.fault.active())
+      os << ",\"fault\":\"" << json_safe(r.cell.fault.key()) << "\"";
+    os << ",\"ok\":" << (r.ok ? "true" : "false");
+    if (r.ok) {
+      os << ",\"agg\":" << r.agg_json;
+      if (r.cell.fault.active()) {
+        SweepCell twin = r.cell;
+        twin.fault = fault::FaultPlan{};
+        if (const auto it = fault_free.find(twin.key());
+            it != fault_free.end()) {
+          const auto faulty = parse_agg_json(r.agg_json);
+          const auto control = parse_agg_json(it->second->agg_json);
+          const double overhead = control.rounds.mean > 0.0
+                                      ? faulty.rounds.mean / control.rounds.mean
+                                      : 0.0;
+          os << ",\"vs_fault_free\":{\"rounds_overhead\":"
+             << format_double(overhead, 4) << ",\"success_drop\":"
+             << format_double(control.success_rate - faulty.success_rate, 4)
+             << "}";
+        }
+      }
+    } else {
+      os << ",\"error\":\"" << json_safe(r.error) << "\"";
+    }
+    os << "}" << (i + 1 < ordered.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}";
+  return os.str();
+}
 
 std::string to_csv(const std::vector<CellResult>& cells) {
   std::vector<const CellResult*> ordered;

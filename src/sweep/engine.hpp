@@ -20,8 +20,10 @@
 //
 // Checkpoints are append-only JSONL (one completed cell per line, flushed
 // per cell); a campaign killed mid-write leaves at most one torn final
-// line, which load_checkpoint tolerates by stopping at the first
-// unparsable line.
+// line, which load_checkpoint drops (the cell re-runs on resume). An
+// unparsable line anywhere *before* the final one is real corruption, not
+// an interrupt signature, and raises a line-numbered CheckError — silently
+// stopping there used to discard every later completed cell.
 #pragma once
 
 #include <cstdint>
@@ -121,7 +123,10 @@ struct CheckpointEntry {
 };
 
 /// Completed cells by key. A missing file yields an empty map; a torn
-/// final line (interrupted mid-write) ends the scan without error.
+/// final line (interrupted mid-write) is dropped so its cell re-runs.
+/// Throws a line-numbered CheckError on an unparsable line anywhere
+/// before the final one — that is corruption, and silently stopping
+/// there would discard every later completed cell.
 [[nodiscard]] std::map<std::string, CheckpointEntry> load_checkpoint(
     const std::string& path);
 
@@ -147,7 +152,11 @@ struct CheckpointEntry {
 
 /// Deterministic merged report: cells sorted by grid index, aggregate
 /// bytes verbatim, no timing fields. Byte-identical for resumed vs
-/// uninterrupted campaigns.
+/// uninterrupted campaigns. Active-fault cells additionally carry a
+/// "fault" field (the plan key) and — when their fault-free twin cell is
+/// present and ok — a "vs_fault_free" block with the rounds overhead
+/// ratio and the success-rate drop; fault-free cells keep the exact
+/// bytes they had before the fault layer existed.
 [[nodiscard]] std::string to_json(const SweepSpec& spec,
                                   const std::vector<CellResult>& cells);
 

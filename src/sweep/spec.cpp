@@ -234,7 +234,7 @@ TopologySpec parse_topology(const std::string& token) {
                   "topology '" << token << "' repeats parameter '" << name
                                << "'");
     spec.params[name] =
-        parse_double(value, "topology parameter '" + name + "'");
+        parse_finite_double(value, "topology parameter '" + name + "'");
   }
   spec.validate();
   return spec;
@@ -271,6 +271,7 @@ std::string SweepCell::key() const {
   os << scenario::to_string(program) << "|" << scenario << "|"
      << topology.key() << "|n=" << n << "|seed=" << seed
      << "|trials=" << trials;
+  if (fault.active()) os << "|fault=" << fault.key();
   return os.str();
 }
 
@@ -282,10 +283,14 @@ std::string SweepCell::graph_key() const {
 
 std::vector<SweepCell> expand(const SweepSpec& spec) {
   spec.validate();
+  // No `faults` axis ⇒ one inactive plan: the grid (keys and indices)
+  // matches specs written before the axis existed.
+  static const std::vector<fault::FaultPlan> kFaultFree(1);
+  const auto& fault_axis = spec.faults.empty() ? kFaultFree : spec.faults;
   std::vector<SweepCell> cells;
   cells.reserve(spec.programs.size() * spec.scenarios.size() *
                 spec.topologies.size() * spec.sizes.size() *
-                spec.seeds.size());
+                spec.seeds.size() * fault_axis.size());
   for (const auto& program : spec.programs)
     for (const auto& scenario_name : spec.scenarios) {
       // Capability pruning: a mismatched (program, scenario) pair — or a
@@ -299,18 +304,25 @@ std::vector<SweepCell> expand(const SweepSpec& spec) {
             topology.family != "complete")
           continue;
         for (const auto n : spec.sizes)
-          for (const auto seed : spec.seeds) {
-            SweepCell cell;
-            cell.index = cells.size();
-            cell.program = program;
-            cell.scenario = scenario_name;
-            cell.topology = topology;
-            cell.n = n;
-            cell.achieved_n = topology.achieved_n(n);
-            cell.seed = seed;
-            cell.trials = spec.trials;
-            cells.push_back(std::move(cell));
-          }
+          for (const auto seed : spec.seeds)
+            for (const auto& plan : fault_axis) {
+              // A plan that only perturbs whiteboards cannot touch a
+              // whiteboard-free model; skip the vacuous cell.
+              if (plan.active() && plan.whiteboard_only() &&
+                  !program.def().model.whiteboards)
+                continue;
+              SweepCell cell;
+              cell.index = cells.size();
+              cell.program = program;
+              cell.scenario = scenario_name;
+              cell.topology = topology;
+              cell.n = n;
+              cell.achieved_n = topology.achieved_n(n);
+              cell.seed = seed;
+              cell.trials = spec.trials;
+              cell.fault = plan;
+              cells.push_back(std::move(cell));
+            }
       }
     }
   FNR_CHECK_MSG(!cells.empty(),
@@ -384,6 +396,15 @@ SweepSpec parse_spec(const std::string& text) {
     } else if (key == "seeds") {
       for (const auto& token : split(value, ','))
         spec.seeds.push_back(parse_uint64(token, "sweep spec 'seeds'"));
+    } else if (key == "faults") {
+      for (const auto& token : split(value, ',')) {
+        try {
+          spec.faults.push_back(fault::FaultPlan::parse(token));
+        } catch (const CheckError& error) {
+          throw CheckError("sweep spec line " + std::to_string(line_no) +
+                           ": " + error.what());
+        }
+      }
     } else {
       FNR_CHECK_MSG(false, "sweep spec line " << line_no
                                               << ": unknown key '" << key
@@ -454,6 +475,20 @@ scenarios  = *
 topologies = near-regular:deg=6, complete
 sizes      = 16
 seeds      = 1
+)"},
+      {"fault-smoke", R"(# Every fault family (plus the fault-free control)
+# on one whiteboard program, one scenario, one small graph. A cell that
+# fails here means a fault family the scheduler cannot absorb — CI greps
+# the report for "ok":false and also interrupts/resumes the campaign to
+# exercise checkpoint recovery under an active fault axis.
+name       = fault-smoke
+trials     = 2
+programs   = whiteboard
+scenarios  = sync-pair
+topologies = near-regular:deg=6
+sizes      = 32
+seeds      = 1
+faults     = none, crash?rate=0.05&downtime=4, wb-drop?rate=0.2, wb-wipe?rate=0.05, wb-stale?rate=0.2, churn?rate=0.1
 )"},
   };
   return specs;

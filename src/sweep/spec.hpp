@@ -18,6 +18,14 @@
 //   topologies = near-regular:deg=16, torus, hypercube
 //   sizes      = 1024, 16384, 131072     # requested n per topology
 //   seeds      = 1, 2                    # seed block (one grid axis each)
+//   faults     = none, crash?rate=0.01   # optional fault-plan axis
+//
+// A fault token is a fault::FaultPlan clause list (`none`, or
+// `family?key=value&key=value` clauses joined by `+` — see
+// fault/fault.hpp). The axis is optional and defaults to the single
+// inactive plan, so existing specs expand to exactly the grid they always
+// did; `none` cells keep their pre-fault keys and the fault axis nests
+// innermost, preserving fault-free indices.
 //
 // A topology token is `family` or `family:param=value:param=value`. A
 // program token is a registry label, optionally parameterized with a
@@ -42,6 +50,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "graph/graph.hpp"
 #include "scenario/program_registry.hpp"
 
@@ -94,6 +103,9 @@ struct SweepSpec {
   std::vector<TopologySpec> topologies;
   std::vector<std::uint64_t> sizes;  ///< requested n values, each <= 2^20
   std::vector<std::uint64_t> seeds;  ///< seed block; one grid axis entry each
+  /// Fault-plan axis. Empty ⇒ the single inactive plan (fault-free grid,
+  /// byte-identical to specs written before the axis existed).
+  std::vector<fault::FaultPlan> faults;
 
   /// Throws CheckError when any axis is empty, a scenario name is unknown,
   /// a size is out of [4, 2^20], or trials is 0.
@@ -110,9 +122,13 @@ struct SweepCell {
   std::uint64_t achieved_n = 0;  ///< family-resolved vertex count
   std::uint64_t seed = 0;
   std::uint64_t trials = 0;
+  fault::FaultPlan fault;  ///< inactive on fault-free cells
 
   /// Canonical cell identity: completed cells are skipped by this key on
   /// resume, so it must never depend on runtime options (threads, shard).
+  /// Active-fault cells append `|fault=<plan key>`; inactive cells keep
+  /// the exact key they had before the fault axis existed, so old
+  /// checkpoints still resume.
   [[nodiscard]] std::string key() const;
 
   /// Graph-cache key: (family, params, n, seed). Cells that share a key
@@ -122,12 +138,13 @@ struct SweepCell {
 };
 
 /// Expands the spec into its canonical cell grid. Axis nesting, outermost
-/// first: program, scenario, topology, size, seed. Incompatible
-/// (program, scenario) pairs and complete-graph-only programs off the
-/// `complete` family are skipped (see the file header); indices stay dense
-/// over the cells that remain. Deterministic: equal specs expand to
-/// identical grids (same keys, same indices). Throws CheckError when
-/// capability pruning leaves no cells at all.
+/// first: program, scenario, topology, size, seed, fault. Incompatible
+/// (program, scenario) pairs, complete-graph-only programs off the
+/// `complete` family, and whiteboard-only fault plans on whiteboard-free
+/// models are skipped (see the file header); indices stay dense over the
+/// cells that remain. Deterministic: equal specs expand to identical grids
+/// (same keys, same indices). Throws CheckError when capability pruning
+/// leaves no cells at all.
 [[nodiscard]] std::vector<SweepCell> expand(const SweepSpec& spec);
 
 /// Parses spec text. Throws CheckError on unknown keys, malformed values,
@@ -144,6 +161,8 @@ struct SweepCell {
 ///   large-n        — 3 programs × 4 families × n ∈ {2^10, 2^14, 2^17}
 ///   registry-smoke — every registered program × every compatible scenario,
 ///                    one tiny trial each (the CI registration smoke)
+///   fault-smoke    — every fault family × one program × one scenario on a
+///                    small graph (the CI robustness smoke)
 /// Each value is spec text (parse it with parse_spec — one format, one
 /// parser, whether the spec is built in or user-supplied).
 [[nodiscard]] const std::vector<std::pair<std::string, std::string>>&

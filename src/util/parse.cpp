@@ -54,4 +54,11 @@ double parse_double(const std::string& text, const std::string& what) {
   return v;
 }
 
+double parse_finite_double(const std::string& text, const std::string& what) {
+  const double v = parse_double(text, what);
+  FNR_CHECK_MSG(std::isfinite(v), what << " must be a finite number, got '"
+                                       << text << "'");
+  return v;
+}
+
 }  // namespace fnr

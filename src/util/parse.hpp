@@ -24,4 +24,12 @@ namespace fnr {
 [[nodiscard]] double parse_double(const std::string& text,
                                   const std::string& what);
 
+/// parse_double plus an explicit finiteness requirement: strtod happily
+/// accepts "nan", "inf", and "-inf", which then fail later range compares
+/// with messages that never name the real problem. Spec-facing numerics
+/// (program parameters, topology parameters, fault rates) route through
+/// this so the error points at the non-finite input itself.
+[[nodiscard]] double parse_finite_double(const std::string& text,
+                                         const std::string& what);
+
 }  // namespace fnr

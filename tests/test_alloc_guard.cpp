@@ -15,6 +15,7 @@
 #include <cstdlib>
 #include <new>
 
+#include "fault/fault.hpp"
 #include "graph/generators.hpp"
 #include "sim/scheduler.hpp"
 #include "util/rng.hpp"
@@ -148,6 +149,59 @@ TEST(AllocGuard, ScenarioRoundLoopIsAllocationFree) {
   // not: 64x the rounds must allocate exactly the same number of times.
   EXPECT_EQ(short_run, long_run)
       << "run_scenario's round loop heap-allocates per round";
+}
+
+TEST(AllocGuard, FaultLayerLeavesTheDisarmedHotPathAllocationFree) {
+  // The fault hooks must be zero-cost when inactive: after a *faulty*
+  // scenario dirtied the arena, a scheduler with the session cleared must
+  // run the round loop without a single heap allocation — and produce the
+  // exact metrics of a scheduler that never saw a fault session at all.
+  const auto g = guard_graph();
+  sim::Scheduler scheduler(g, sim::Model::full());
+
+  sim::ScenarioPlacement placement;
+  placement.starts = {0, 7, 21};
+  const auto scribes_run = [&](sim::Scheduler& s, std::uint64_t cap) {
+    CampingScribe agents[3];
+    const std::vector<sim::Agent*> team = {&agents[0], &agents[1],
+                                           &agents[2]};
+    return s.run_scenario(team, placement, sim::Gathering::AnyPair, cap);
+  };
+
+  // Dirty the arena with an active session (stationary scribes tolerate
+  // crashes of nobody: arm only whiteboard faults, which need no reviver).
+  auto plan = fault::FaultPlan::parse("wb-drop?rate=0.5+wb-wipe?rate=0.25");
+  fault::FaultSession session(plan, Rng(9, 21));
+  scheduler.set_fault_session(&session);
+  const auto faulty = scribes_run(scheduler, 64);
+  scheduler.set_fault_session(nullptr);
+  ASSERT_GT(faulty.faults.writes_dropped, 0u);
+
+  (void)scribes_run(scheduler, 8);  // disarmed warm-up
+  const auto counted = [&](std::uint64_t cap) {
+    CampingScribe agents[3];
+    const std::vector<sim::Agent*> team = {&agents[0], &agents[1],
+                                           &agents[2]};
+    const auto before = allocation_count();
+    const auto result =
+        scheduler.run_scenario(team, placement, sim::Gathering::AnyPair, cap);
+    const auto after = allocation_count();
+    EXPECT_FALSE(result.faults.any()) << "session leaked into a later run";
+    return after - before;
+  };
+  EXPECT_EQ(counted(64), counted(4096))
+      << "disarmed fault hooks heap-allocate per round";
+
+  // And the disarmed scheduler's runs are indistinguishable from a
+  // scheduler that never had a session installed.
+  sim::Scheduler untouched(g, sim::Model::full());
+  const auto ours = scribes_run(scheduler, 256);
+  const auto theirs = scribes_run(untouched, 256);
+  EXPECT_EQ(ours.rounds, theirs.rounds);
+  EXPECT_EQ(ours.whiteboard_reads, theirs.whiteboard_reads);
+  EXPECT_EQ(ours.whiteboard_writes, theirs.whiteboard_writes);
+  EXPECT_EQ(ours.whiteboards_used, theirs.whiteboards_used);
+  EXPECT_FALSE(ours.faults.any());
 }
 
 void expect_same_run(const sim::RunResult& x, const sim::RunResult& y) {

@@ -88,6 +88,42 @@ TEST(ProgramRegistry, ParameterSuffixesParseValidateAndCanonicalize) {
                CheckError);  // repeated
 }
 
+TEST(ProgramRegistry, MalformedSuffixShapesAreRejectedNotTruncated) {
+  // Each of these used to slip through as a silently-ignored fragment or a
+  // degenerate label; now the shape itself is rejected.
+  EXPECT_THROW((void)scenario::find_program("random-walk?"), CheckError);
+  try {
+    (void)scenario::find_program("?laziness=0.5");
+    FAIL() << "empty label before '?' must throw";
+  } catch (const CheckError& error) {
+    // The message enumerates the registry, like the unknown-label path.
+    EXPECT_NE(std::string(error.what()).find("random-walk"),
+              std::string::npos);
+  }
+  EXPECT_THROW((void)scenario::find_program("random-walk?laziness="),
+               CheckError);  // empty value
+  EXPECT_THROW((void)scenario::find_program("random-walk?=0.5"),
+               CheckError);  // empty key
+  EXPECT_THROW((void)scenario::find_program("random-walk?laziness=0.5&"),
+               CheckError);  // stray '&'
+  EXPECT_THROW((void)scenario::find_program("random-walk?&laziness=0.5"),
+               CheckError);
+}
+
+TEST(ProgramRegistry, NonFiniteParameterValuesAreRejected) {
+  // NaN/inf would poison every downstream threshold computation and,
+  // worse, produce a canonical label that no longer round-trips; the
+  // override parser rejects them explicitly.
+  EXPECT_THROW((void)scenario::find_program("random-walk?laziness=nan"),
+               CheckError);
+  EXPECT_THROW((void)scenario::find_program("random-walk?laziness=inf"),
+               CheckError);
+  EXPECT_THROW((void)scenario::find_program("random-walk?laziness=-inf"),
+               CheckError);
+  EXPECT_THROW((void)scenario::find_program("random-walk?laziness=1e999"),
+               CheckError);  // overflows to inf
+}
+
 TEST(ProgramRegistry, ParameterOverridesReachTheAgents) {
   // Same seeds, different laziness: the walks must diverge (deterministic
   // given the fixed seeds, so this cannot flake).

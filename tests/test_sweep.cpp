@@ -290,6 +290,35 @@ TEST(SweepCheckpoint, ResumingOverATornLineCompactsTheFile) {
   EXPECT_EQ(load_checkpoint(checkpoint.str()).size(), expand(spec).size());
 }
 
+TEST(SweepCheckpoint, CorruptMiddleLineFailsLoudlyWithItsLineNumber) {
+  // A torn *final* line is the signature of an interrupt and is dropped;
+  // garbage anywhere before that is real corruption. Stopping there
+  // silently (the old behavior) would discard every later completed cell
+  // and re-run them as if the campaign had barely started.
+  const SweepSpec spec = parse_spec(kTinySpec);
+  const auto grid = expand(spec);
+  CellResult first, third;
+  first.cell = grid[0];
+  first.agg_json = "{\"trials\":2}";
+  third.cell = grid[2];
+  third.agg_json = "{\"trials\":2}";
+  const TempPath path("sweep_ckpt_corrupt_middle.jsonl");
+  {
+    std::ofstream out(path.str());
+    out << checkpoint_line(first) << "\n"
+        << "{\"key\":\"not a complete reco\n"  // corrupt, NOT final
+        << checkpoint_line(third) << "\n";
+  }
+  try {
+    (void)load_checkpoint(path.str());
+    FAIL() << "corrupt middle line must throw";
+  } catch (const CheckError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+    EXPECT_NE(what.find(path.str()), std::string::npos) << what;
+  }
+}
+
 TEST(SweepCheckpoint, MissingFileIsEmpty) {
   EXPECT_TRUE(load_checkpoint(testing::TempDir() +
                               "sweep_no_such_checkpoint.jsonl")

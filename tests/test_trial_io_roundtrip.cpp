@@ -29,6 +29,12 @@ TrialOutcome synthetic_outcome(std::uint64_t trial, std::uint64_t seed) {
   out.moves_a = seed % 131;
   out.moves_b = seed % 149;
   out.whiteboard_marks = seed % 11;
+  out.faults.crashes = seed % 3;
+  out.faults.restarts = seed % 3;
+  out.faults.writes_dropped = seed % 7;
+  out.faults.wipes = seed % 2;
+  out.faults.stale_reads = seed % 5;
+  out.faults.moves_blocked = seed % 13;
   return out;
 }
 
@@ -104,6 +110,18 @@ TEST(TrialIoRoundtrip, CsvRowParsesBackToTheAggregate) {
         EXPECT_NEAR(value, agg.mean_moves_a, 5e-3);
       } else if (name == "mean_moves_b") {
         EXPECT_NEAR(value, agg.mean_moves_b, 5e-3);
+      } else if (name == "fault_crashes") {
+        EXPECT_EQ(value, static_cast<double>(agg.fault_totals.crashes));
+      } else if (name == "fault_restarts") {
+        EXPECT_EQ(value, static_cast<double>(agg.fault_totals.restarts));
+      } else if (name == "fault_writes_dropped") {
+        EXPECT_EQ(value, static_cast<double>(agg.fault_totals.writes_dropped));
+      } else if (name == "fault_wipes") {
+        EXPECT_EQ(value, static_cast<double>(agg.fault_totals.wipes));
+      } else if (name == "fault_stale_reads") {
+        EXPECT_EQ(value, static_cast<double>(agg.fault_totals.stale_reads));
+      } else if (name == "fault_moves_blocked") {
+        EXPECT_EQ(value, static_cast<double>(agg.fault_totals.moves_blocked));
       } else {
         ADD_FAILURE() << "csv_header grew an untested column: " << name;
       }
@@ -136,7 +154,40 @@ TEST(TrialIoRoundtrip, JsonParsesBackToTheAggregate) {
     EXPECT_NEAR(json_number(json, "mean_marks"), agg.mean_marks, 5e-3);
     EXPECT_NEAR(json_number(json, "mean_moves_a"), agg.mean_moves_a, 5e-3);
     EXPECT_NEAR(json_number(json, "mean_moves_b"), agg.mean_moves_b, 5e-3);
+    ASSERT_TRUE(agg.fault_totals.any());  // synthetic outcomes carry faults
+    EXPECT_NE(json.find("\"faults\""), std::string::npos);
+    EXPECT_EQ(json_number(json, "crashes"),
+              static_cast<double>(agg.fault_totals.crashes));
+    EXPECT_EQ(json_number(json, "restarts"),
+              static_cast<double>(agg.fault_totals.restarts));
+    EXPECT_EQ(json_number(json, "writes_dropped"),
+              static_cast<double>(agg.fault_totals.writes_dropped));
+    EXPECT_EQ(json_number(json, "wipes"),
+              static_cast<double>(agg.fault_totals.wipes));
+    EXPECT_EQ(json_number(json, "stale_reads"),
+              static_cast<double>(agg.fault_totals.stale_reads));
+    EXPECT_EQ(json_number(json, "moves_blocked"),
+              static_cast<double>(agg.fault_totals.moves_blocked));
   }
+}
+
+TEST(TrialIoRoundtrip, FaultFreeJsonOmitsTheFaultsBlock) {
+  // Scripts diff fault-free aggregates against pre-fault-layer artifacts,
+  // so an all-zero counter block must not appear at all.
+  TrialAccumulator acc;
+  for (std::uint64_t t = 0; t < 16; ++t) {
+    TrialOutcome out = synthetic_outcome(t, trial_seed(77, t));
+    out.faults = fault::FaultStats{};
+    acc.add(out);
+  }
+  const auto agg = acc.aggregate();
+  EXPECT_FALSE(agg.fault_totals.any());
+  EXPECT_EQ(agg.to_json().find("\"faults\""), std::string::npos);
+  // The CSV row still carries the (zero) columns — fixed-width schema.
+  const auto row = split_csv(agg.to_csv_row("cell_y"));
+  ASSERT_EQ(row.size(), split_csv(TrialAggregate::csv_header()).size());
+  for (std::size_t i = row.size() - 6; i < row.size(); ++i)
+    EXPECT_EQ(row[i], "0");
 }
 
 TEST(TrialIoRoundtrip, MergeFuzzAcrossRandomPartitions) {
