@@ -8,12 +8,27 @@
 //   --trials=N         per-cell trials (0 = mode default)
 //   --threads=N        trial-runner pool size (0 = hardware threads)
 //   --seed=N           base seed for every cell's batch
+//   --batch=N          lock-step SoA batch size (0/1 = scalar path); pure
+//                      throughput lever, identity fields are unchanged
 //   --out=PATH         where to write the JSON report; default "auto" picks
 //                      BENCH_perf.json (full) / BENCH_perf_quick.json
 //                      (quick) so a quick run can never clobber the
 //                      committed full baseline; --out= (empty) skips writing
 //   --validate=PATH    parse + schema-validate an existing report and exit
+//   --baseline=PATH    gate mode: run the suite, compare against the report
+//                      at PATH, and exit non-zero on any identity drift or
+//                      rounds/sec regression beyond --tolerance. With
+//                      --out=auto, gate mode writes nothing (a gate run
+//                      must never clobber the committed baseline).
+//   --tolerance=F      allowed fractional rounds/sec regression in gate
+//                      mode (default 0.30)
+//   --gate-reps=N      gate mode runs the suite N times (default 3) and
+//                      gates each cell's best rounds/sec: timing noise is
+//                      one-sided (interference only slows a run down), so
+//                      best-of-N is a stable estimate of the machine's
+//                      true rate where a single shot would be flaky
 #include <iostream>
+#include <vector>
 
 #include "perf/perf_suite.hpp"
 #include "util/check.hpp"
@@ -37,10 +52,26 @@ int main(int argc, char** argv) {
     const auto seed = cli.get_int("seed", 7);
     FNR_CHECK_MSG(seed >= 0, "--seed must be non-negative, got " << seed);
     config.seed = static_cast<std::uint64_t>(seed);
+    const auto batch = cli.get_int("batch", 0);
+    FNR_CHECK_MSG(batch >= 0 && batch <= 1'000'000,
+                  "--batch must be in [0, 1e6], got " << batch);
+    config.batch = static_cast<std::uint64_t>(batch);
     std::string out = cli.get_string("out", "auto");
     const std::string validate = cli.get_string("validate", "");
-    if (out == "auto")
-      out = config.quick ? "BENCH_perf_quick.json" : "BENCH_perf.json";
+    const std::string baseline = cli.get_string("baseline", "");
+    const double tolerance = cli.get_double("tolerance", 0.30);
+    FNR_CHECK_MSG(tolerance >= 0.0 && tolerance < 1.0,
+                  "--tolerance must be in [0, 1), got " << tolerance);
+    const auto gate_reps = cli.get_int("gate-reps", 3);
+    FNR_CHECK_MSG(gate_reps >= 1 && gate_reps <= 100,
+                  "--gate-reps must be in [1, 100], got " << gate_reps);
+    if (out == "auto") {
+      // Gate runs write nothing: the committed baseline only changes via a
+      // deliberate refresh (an explicit --out), never as a gate side effect.
+      out = !baseline.empty()
+                ? ""
+                : (config.quick ? "BENCH_perf_quick.json" : "BENCH_perf.json");
+    }
     cli.reject_unknown();
 
     if (!validate.empty()) {
@@ -52,12 +83,22 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    const auto report = perf::run_perf_suite(config);
+    // Gate mode measures best-of-N; plain runs measure once (a committed
+    // baseline should be a real single-run snapshot, not a composite).
+    const std::size_t reps =
+        baseline.empty() ? 1 : static_cast<std::size_t>(gate_reps);
+    std::vector<perf::PerfReport> runs;
+    runs.reserve(reps);
+    for (std::size_t r = 0; r < reps; ++r)
+      runs.push_back(perf::run_perf_suite(config));
+    const auto report = reps == 1 ? runs.front() : perf::best_of(runs);
     perf::validate_report(report);
 
     std::cout << "## Perf suite (" << report.schema << ", "
               << (report.quick ? "quick" : "full") << " mode, "
-              << report.threads << " threads)\n\n";
+              << report.threads << " threads"
+              << (reps > 1 ? ", best of " + std::to_string(reps) : "")
+              << ")\n\n";
     Table table({"strategy", "topology", "n", "trials", "total rounds",
                  "success", "seconds", "rounds/s", "trials/s"});
     for (const auto& cell : report.cells) {
@@ -75,6 +116,21 @@ int main(int argc, char** argv) {
     if (!out.empty()) {
       perf::write_report_file(report, out);
       std::cout << "wrote " << out << "\n";
+    }
+
+    if (!baseline.empty()) {
+      const auto base = perf::read_report_file(baseline);
+      perf::validate_report(base);
+      const auto gate = perf::gate_against_baseline(base, report, tolerance);
+      if (!gate.ok()) {
+        std::cerr << "perf gate FAILED against " << baseline << ":\n";
+        for (const auto& line : gate.failures)
+          std::cerr << "  " << line << "\n";
+        return 1;
+      }
+      std::cout << "perf gate ok against " << baseline << " ("
+                << report.cells.size() << " cells, tolerance "
+                << fnr::format_double(tolerance, 2) << ")\n";
     }
     return 0;
   } catch (const std::exception& error) {

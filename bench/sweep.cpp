@@ -24,6 +24,9 @@
 //                      written when the (shard's) campaign is complete
 //   --trials=N         override the spec's per-cell trial count
 //   --threads=N        trial-runner pool size (0 = hardware threads)
+//   --batch=N          lock-step SoA batch size (0/1 = scalar path); the
+//                      kernel is bit-exact, so merged JSON is byte-identical
+//                      either way (faulty cells always run scalar)
 //   --csv / --json     also print the report to stdout
 //   --quiet            suppress per-cell progress lines
 #include <cstdlib>
@@ -97,6 +100,9 @@ int main(int argc, char** argv) {
     const auto threads = cli.get_int("threads", 0);
     FNR_CHECK_MSG(threads >= 0 && threads <= 4096,
                   "--threads must be in [0, 4096], got " << threads);
+    const auto batch = cli.get_int("batch", 0);
+    FNR_CHECK_MSG(batch >= 0 && batch <= 1'000'000,
+                  "--batch must be in [0, 1e6], got " << batch);
     const bool csv = cli.get_flag("csv");
     const bool json = cli.get_flag("json");
     const bool quiet = cli.get_flag("quiet");
@@ -128,6 +134,7 @@ int main(int argc, char** argv) {
     parse_shard(shard_arg, &options);
     options.resume = resume;
     options.max_cells = static_cast<std::uint64_t>(max_cells);
+    options.batch = static_cast<std::uint64_t>(batch);
     if (!quiet) options.progress = &std::cout;
     if (checkpoint == "auto")
       checkpoint = "sweep_" + spec.name + shard_suffix(options) + ".jsonl";

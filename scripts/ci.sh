@@ -16,13 +16,17 @@ if [[ $# -gt 0 && "$1" != --* ]]; then
 fi
 
 CMAKE_ARGS=()
+SANITIZE=0
 for arg in "$@"; do
   if [[ "$arg" == "--sanitize" ]]; then
     CMAKE_ARGS+=(-DFNR_SANITIZE=ON)
+    SANITIZE=1
   else
     CMAKE_ARGS+=("$arg")
   fi
 done
+
+ROOT=$(pwd)
 
 cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]+"${CMAKE_ARGS[@]}"}"
 cmake --build "$BUILD_DIR" -j
@@ -34,6 +38,18 @@ ctest --output-on-failure -j
 # conforms to the fnr-perf schema (see docs/PERFORMANCE.md).
 ./perf_suite --quick --threads=2 --out=perf_smoke.json
 ./perf_suite --validate=perf_smoke.json
+
+# Bench gate: re-measure every full-suite cell at the canonical batch
+# size and fail on any cell whose rounds/sec dropped more than 30% below
+# the committed BENCH_perf.json. Speedups never fail (refreshing the
+# baseline after a legitimate win is a deliberate, reviewed act — see
+# docs/PERFORMANCE.md). Sanitizer builds skip the gate: instrumentation
+# alone is a guaranteed "regression".
+if [[ "$SANITIZE" == 0 ]]; then
+  ./perf_suite --batch=8 --baseline="$ROOT/BENCH_perf.json" --tolerance=0.30
+else
+  echo "bench gate: skipped under --sanitize"
+fi
 
 # Sweep smoke: run a tiny campaign uninterrupted, then again "killed"
 # after 2 cells (--max-cells is the deterministic stand-in for a mid-

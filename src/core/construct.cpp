@@ -27,7 +27,9 @@ void ConstructRun::start_sample(std::vector<graph::VertexId> gamma,
                                 bool strict) {
   current_sample_strict_ = strict;
   const double alpha = delta_hat_ / params_.heavy_divisor;
-  sample_ = std::make_unique<SampleRun>(std::move(gamma), alpha, n_, params_);
+  sample_ = std::make_unique<SampleRun>(std::move(gamma), alpha, n_, params_,
+                                        &overlap_memo_);
+  sample_->adopt_scratch(std::move(counts_scratch_));
   stage_ = Stage::Sampling;
 }
 
@@ -73,6 +75,7 @@ std::optional<graph::VertexId> ConstructRun::next_target(Rng& rng) {
 void ConstructRun::finish_sample() {
   for (const auto u : sample_->heavy_output(knowledge_)) heavy_.insert(u);
   const bool was_strict = current_sample_strict_;
+  counts_scratch_ = sample_->release_scratch();
   sample_.reset();
   rebuild_r();
   if (r_.empty()) {

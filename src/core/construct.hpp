@@ -91,6 +91,13 @@ class ConstructRun {
   bool current_sample_strict_ = false;
 
   std::unique_ptr<SampleRun> sample_;
+  // Zeroed counter buffer shuttled between consecutive SampleRuns so each
+  // run reuses (not re-fills) the previous run's allocation.
+  std::vector<std::uint64_t> counts_scratch_;
+  // Overlap slices lent to every SampleRun of this Construct: the home
+  // neighborhood never changes, so a target scanned by one run need never
+  // be re-scanned by a later (notably strict) run.
+  OverlapMemo overlap_memo_;
   std::unordered_set<graph::VertexId> heavy_;    // H
   std::unordered_set<graph::VertexId> adopted_;  // Sᵃ \ {home}
   std::vector<graph::VertexId> r_;               // R, rebuilt after updates

@@ -5,6 +5,15 @@
 // discovered vertex at distance two a "via" midpoint enabling length-2
 // routes. The paper notes the shortest paths to T^a cost asymptotically no
 // more memory than the vertex list itself; the via map is exactly that.
+//
+// Hot-path layout: in_home_closed / in_ns are the innermost operations of
+// Sample's counting loop (one query per neighbor per visit), so membership
+// is answered from flat byte masks indexed by vertex ID. The home_closed_
+// set is kept alongside its mask because reset_coverage() iterates it to
+// rebuild ns_list_, and that iteration order feeds RNG-indexed sampling —
+// replacing the container would silently reorder every later draw. The
+// masks are pure mirrors: logical contents (and memory_words accounting)
+// are identical to the set-only representation.
 #pragma once
 
 #include <unordered_map>
@@ -21,20 +30,25 @@ class Knowledge {
   void init_home(graph::VertexId home,
                  const std::vector<graph::VertexId>& neighbor_ids) {
     home_ = home;
+    for (const auto id : home_closed_) clear_bit(home_mask_, id);
     home_closed_.clear();
     home_closed_.insert(home);
+    set_bit(home_mask_, home);
     home_neighbors_ = neighbor_ids;
-    for (const auto id : neighbor_ids) home_closed_.insert(id);
+    for (const auto id : neighbor_ids) {
+      home_closed_.insert(id);
+      set_bit(home_mask_, id);
+    }
     reset_coverage();
   }
 
   /// Clears NS/via back to the freshly-initialized state (doubling restart).
   void reset_coverage() {
-    ns_.clear();
+    for (const auto id : ns_list_) clear_bit(ns_mask_, id);
     ns_list_.clear();
     via_.clear();
     for (const auto id : home_closed_) {
-      ns_.insert(id);
+      set_bit(ns_mask_, id);
       ns_list_.push_back(id);
     }
   }
@@ -45,17 +59,27 @@ class Knowledge {
     return home_neighbors_;
   }
   [[nodiscard]] bool in_home_closed(graph::VertexId v) const {
-    return home_closed_.contains(v);
+    return test_bit(home_mask_, v);
   }
   [[nodiscard]] std::size_t home_closed_size() const noexcept {
     return home_closed_.size();
   }
 
-  [[nodiscard]] bool in_ns(graph::VertexId v) const { return ns_.contains(v); }
-  [[nodiscard]] std::size_t ns_size() const noexcept { return ns_.size(); }
+  [[nodiscard]] bool in_ns(graph::VertexId v) const {
+    return test_bit(ns_mask_, v);
+  }
+  [[nodiscard]] std::size_t ns_size() const noexcept {
+    return ns_list_.size();
+  }
   /// NS as a list (insertion order, duplicates impossible).
   [[nodiscard]] const std::vector<graph::VertexId>& ns_list() const noexcept {
     return ns_list_;
+  }
+
+  /// Exclusive upper bound on IDs the home-closed mask can answer for
+  /// (Sample sizes its flat counter array to this).
+  [[nodiscard]] std::size_t home_id_cap() const noexcept {
+    return home_mask_.size();
   }
 
   /// Absorbs N+(x) for a newly adopted x ∈ N+(home); returns the vertices
@@ -64,10 +88,11 @@ class Knowledge {
       graph::VertexId x, const std::vector<graph::VertexId>& x_neighbors) {
     std::vector<graph::VertexId> fresh;
     auto add = [&](graph::VertexId w) {
-      if (ns_.insert(w).second) {
+      if (!test_bit(ns_mask_, w)) {
+        set_bit(ns_mask_, w);
         ns_list_.push_back(w);
         fresh.push_back(w);
-        if (!home_closed_.contains(w)) via_.emplace(w, x);
+        if (!in_home_closed(w)) via_.emplace(w, x);
       }
     };
     add(x);  // x ∈ N+(home), so normally present already
@@ -79,7 +104,7 @@ class Knowledge {
   [[nodiscard]] std::vector<graph::VertexId> route_from_home(
       graph::VertexId w) const {
     if (w == home_) return {};
-    if (home_closed_.contains(w)) return {w};
+    if (in_home_closed(w)) return {w};
     const auto it = via_.find(w);
     FNR_CHECK_MSG(it != via_.end(), "no known route to vertex " << w);
     return {it->second, w};
@@ -89,7 +114,7 @@ class Knowledge {
   [[nodiscard]] std::vector<graph::VertexId> route_to_home(
       graph::VertexId w) const {
     if (w == home_) return {};
-    if (home_closed_.contains(w)) return {home_};
+    if (in_home_closed(w)) return {home_};
     const auto it = via_.find(w);
     FNR_CHECK_MSG(it != via_.end(), "no known route back from vertex " << w);
     return {it->second, home_};
@@ -97,16 +122,31 @@ class Knowledge {
 
   [[nodiscard]] std::size_t memory_words() const noexcept {
     return home_neighbors_.size() + home_closed_.size() + 2 * via_.size() +
-           2 * ns_.size();
+           2 * ns_list_.size();
   }
 
  private:
+  static void set_bit(std::vector<char>& mask, graph::VertexId v) {
+    if (v >= mask.size()) mask.resize(v + 1, 0);
+    mask[v] = 1;
+  }
+  static void clear_bit(std::vector<char>& mask, graph::VertexId v) {
+    if (v < mask.size()) mask[v] = 0;
+  }
+  [[nodiscard]] static bool test_bit(const std::vector<char>& mask,
+                                     graph::VertexId v) {
+    return v < mask.size() && mask[v] != 0;
+  }
+
   graph::VertexId home_ = 0;
   std::vector<graph::VertexId> home_neighbors_;
   std::unordered_set<graph::VertexId> home_closed_;
-  std::unordered_set<graph::VertexId> ns_;
   std::vector<graph::VertexId> ns_list_;
   std::unordered_map<graph::VertexId, graph::VertexId> via_;
+  // Membership mirrors of home_closed_ / the NS set, byte per ID, grown to
+  // the highest ID ever inserted (queries beyond the mask are misses).
+  std::vector<char> home_mask_;
+  std::vector<char> ns_mask_;
 };
 
 }  // namespace fnr::core

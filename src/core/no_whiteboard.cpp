@@ -146,10 +146,13 @@ void NoWhiteboardAgentA::start_tour(const sim::View& view) {
 }
 
 std::size_t NoWhiteboardAgentA::memory_words() const {
-  std::size_t blocks_words = 0;
-  for (const auto& block : blocks_) blocks_words += block.size();
+  // phi_size_ is the block words by construction: blocks_ is only ever
+  // rebuilt wholesale (oracle init / start_tour), and both sites re-derive
+  // phi_size_ as the sum of the new block sizes. Summing here again would
+  // walk num_blocks cache lines per round — this accessor runs every
+  // round for the peak-memory metric.
   return sim::ScriptedAgent::memory_words() + knowledge_.memory_words() +
-         blocks_words + (construct_ ? construct_->memory_words() : 0) + 16;
+         phi_size_ + (construct_ ? construct_->memory_words() : 0) + 16;
 }
 
 // --- agent b ---------------------------------------------------------------
@@ -205,9 +208,9 @@ void NoWhiteboardAgentB::on_idle(const sim::View& view) {
 }
 
 std::size_t NoWhiteboardAgentB::memory_words() const {
-  std::size_t blocks_words = 0;
-  for (const auto& block : blocks_) blocks_words += block.size();
-  return sim::ScriptedAgent::memory_words() + blocks_words + 16;
+  // phi_size_ == sum of block sizes (blocks_ is built exactly once, in
+  // init, and phi_size_ sums it there); see the AgentA note above.
+  return sim::ScriptedAgent::memory_words() + phi_size_ + 16;
 }
 
 }  // namespace fnr::core

@@ -83,4 +83,16 @@ struct RendezvousReport {
     const RendezvousOptions& options, std::uint64_t n_trials,
     const runner::TrialRunner& trial_runner);
 
+/// Same batch again, executed `batch_size` trials at a time on the
+/// lock-step SoA kernel (sim::BatchScheduler) instead of one scalar
+/// Scheduler run per trial. Every trial still derives its streams from
+/// (options.seed, t) exactly as the scalar path does, and the kernel is
+/// bit-exact against it, so the returned accumulator aggregates
+/// byte-identically to run_trials — the batch is purely a throughput
+/// lever. batch_size <= 1 falls back to the scalar path.
+[[nodiscard]] runner::TrialAccumulator run_trials_batched(
+    Strategy strategy, const graph::Graph& g,
+    const RendezvousOptions& options, std::uint64_t n_trials,
+    const runner::TrialRunner& trial_runner, std::uint64_t batch_size);
+
 }  // namespace fnr::core

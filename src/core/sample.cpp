@@ -3,33 +3,90 @@
 namespace fnr::core {
 
 SampleRun::SampleRun(std::vector<graph::VertexId> gamma, double alpha,
-                     std::size_t n, const Params& params)
+                     std::size_t n, const Params& params, OverlapMemo* memo)
     : gamma_(std::move(gamma)),
       visits_total_(params.sample_visits(gamma_.size(), alpha, n)),
-      threshold_(params.sample_threshold(n)) {}
+      threshold_(params.sample_threshold(n)),
+      memo_(memo != nullptr ? memo : &owned_memo_) {
+  visit_counts_.assign(gamma_.size(), 0);
+}
 
 std::optional<graph::VertexId> SampleRun::next_target(Rng& rng) {
   if (exhausted()) return std::nullopt;
   ++visits_done_;
-  return gamma_[rng.below(gamma_.size())];
+  last_idx_ = rng.below(gamma_.size());
+  return gamma_[last_idx_];
 }
 
 void SampleRun::record_visit(const sim::View& view,
                              const Knowledge& knowledge) {
-  auto bump = [&](graph::VertexId u) {
-    if (knowledge.in_home_closed(u)) ++counts_[u];
-  };
-  bump(view.here());  // the visited vertex is in its own closed neighborhood
-  for (const auto u : view.neighbor_ids()) bump(u);
+  // Counted IDs all pass in_home_closed, so they are < home_id_cap(); one
+  // resize up front keeps the bump itself branch-light and allocation-free.
+  if (counts_.size() < knowledge.home_id_cap())
+    counts_.resize(knowledge.home_id_cap(), 0);
+  if (visit_counts_[last_idx_] == 0) {
+    // First visit to this target in this run: the only visit that walks the
+    // overlap. The memo slice (recorded now, or by an earlier run of the
+    // same trial — the intersection is trial-constant) seeds each newly
+    // counted ID with the marker 1, exactly when and in which order an
+    // eager bump would have first touched it.
+    const graph::VertexId id = gamma_[last_idx_];
+    if (id >= memo_->start.size()) {
+      memo_->start.resize(id + 1, OverlapMemo::kUnscanned);
+      memo_->len.resize(id + 1, 0);
+    }
+    if (memo_->start[id] == OverlapMemo::kUnscanned) {
+      // Never scanned in this trial: one degree-wide scan, recorded.
+      memo_->start[id] = static_cast<std::uint32_t>(memo_->pool.size());
+      auto scan = [&](graph::VertexId u) {
+        if (knowledge.in_home_closed(u)) {
+          memo_->pool.push_back(u);
+          if (counts_[u] == 0) {
+            counts_[u] = 1;
+            touched_.push_back(u);
+          }
+        }
+      };
+      scan(view.here());  // the vertex is in its own closed neighborhood
+      for (const auto u : view.neighbor_ids()) scan(u);
+      memo_->len[id] =
+          static_cast<std::uint32_t>(memo_->pool.size() - memo_->start[id]);
+    } else {
+      const std::uint32_t start = memo_->start[id];
+      for (std::uint32_t j = 0; j < memo_->len[id]; ++j) {
+        const graph::VertexId u = memo_->pool[start + j];
+        if (counts_[u] == 0) {
+          counts_[u] = 1;
+          touched_.push_back(u);
+        }
+      }
+    }
+  }
+  ++visit_counts_[last_idx_];
 }
 
 std::vector<graph::VertexId> SampleRun::heavy_output(
-    const Knowledge& knowledge) const {
+    const Knowledge& knowledge) {
   (void)knowledge;  // referenced only by the debug assertion below
+  if (!settled_) {
+    // Settle the deferred visits: each visit of target i contributed +1 to
+    // every ID in its overlap slice. Then drop the provisional markers, so
+    // counts_ holds exactly what eager per-visit bumping would have.
+    settled_ = true;
+    for (std::size_t i = 0; i < gamma_.size(); ++i) {
+      const std::uint64_t visits = visit_counts_[i];
+      if (visits == 0) continue;
+      const std::uint32_t start = memo_->start[gamma_[i]];
+      const std::uint32_t len = memo_->len[gamma_[i]];
+      for (std::uint32_t j = 0; j < len; ++j)
+        counts_[memo_->pool[start + j]] += visits;
+    }
+    for (const auto u : touched_) counts_[u] -= 1;
+  }
   std::vector<graph::VertexId> heavy;
-  for (const auto& [u, count] : counts_) {
+  for (const auto u : touched_) {
     FNR_ASSERT(knowledge.in_home_closed(u));
-    if (count >= threshold_) heavy.push_back(u);
+    if (counts_[u] >= threshold_) heavy.push_back(u);
   }
   return heavy;
 }

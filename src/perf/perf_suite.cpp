@@ -115,6 +115,7 @@ PerfReport run_perf_suite(const PerfConfig& config) {
   report.quick = config.quick;
   report.threads = trial_runner.threads();
   report.seed = config.seed;
+  report.batch = config.batch;
 
   // Build each topology once up front; the spec list then drives the loop,
   // so the emitted cell order IS perf_cell_specs order by construction
@@ -136,8 +137,13 @@ PerfReport run_perf_suite(const PerfConfig& config) {
     options.seed = config.seed;
 
     const auto start = std::chrono::steady_clock::now();
-    const auto acc = core::run_trials(strategy_named(spec.strategy), g,
-                                      options, spec.trials, trial_runner);
+    const auto acc =
+        config.batch > 1
+            ? core::run_trials_batched(strategy_named(spec.strategy), g,
+                                       options, spec.trials, trial_runner,
+                                       config.batch)
+            : core::run_trials(strategy_named(spec.strategy), g, options,
+                               spec.trials, trial_runner);
     const auto stop = std::chrono::steady_clock::now();
     const double seconds =
         std::chrono::duration<double>(stop - start).count();
@@ -170,8 +176,9 @@ std::string PerfReport::to_json() const {
      << "  \"schema\": \"" << schema << "\",\n"
      << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
      << "  \"threads\": " << threads << ",\n"
-     << "  \"seed\": " << seed << ",\n"
-     << "  \"cells\": [\n";
+     << "  \"seed\": " << seed << ",\n";
+  if (batch > 0) os << "  \"batch\": " << batch << ",\n";
+  os << "  \"cells\": [\n";
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const auto& c = cells[i];
     os << "    {\"strategy\":\"" << c.strategy << "\",\"topology\":\""
@@ -249,6 +256,8 @@ PerfReport parse_report(const std::string& json) {
       report.threads = static_cast<unsigned>(cursor.parse_uint64());
     } else if (key == "seed") {
       report.seed = cursor.parse_uint64();
+    } else if (key == "batch") {
+      report.batch = cursor.parse_uint64();
     } else if (key == "cells") {
       cursor.expect('[');
       while (!cursor.peek_is(']')) {
@@ -311,6 +320,109 @@ PerfReport read_report_file(const std::string& path) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return parse_report(buffer.str());
+}
+
+// --- regression gate --------------------------------------------------------
+
+PerfReport best_of(const std::vector<PerfReport>& reports) {
+  FNR_CHECK_MSG(!reports.empty(), "best_of needs at least one report");
+  PerfReport merged = reports.front();
+  for (std::size_t r = 1; r < reports.size(); ++r) {
+    const PerfReport& rep = reports[r];
+    FNR_CHECK_MSG(
+        rep.quick == merged.quick && rep.cells.size() == merged.cells.size(),
+        "best_of: rep " << r << " ran a different sweep ("
+                        << rep.cells.size() << " cells vs "
+                        << merged.cells.size() << ")");
+    for (std::size_t i = 0; i < merged.cells.size(); ++i) {
+      PerfCell& best = merged.cells[i];
+      const PerfCell& cell = rep.cells[i];
+      FNR_CHECK_MSG(cell.strategy == best.strategy &&
+                        cell.topology == best.topology && cell.n == best.n &&
+                        cell.trials == best.trials &&
+                        cell.total_rounds == best.total_rounds &&
+                        cell.success_rate == best.success_rate,
+                    "best_of: rep " << r << " cell '" << cell.strategy << "/"
+                                    << cell.topology
+                                    << "' drifted in identity fields");
+      best.seconds = std::min(best.seconds, cell.seconds);
+      best.rounds_per_sec = std::max(best.rounds_per_sec, cell.rounds_per_sec);
+      best.trials_per_sec = std::max(best.trials_per_sec, cell.trials_per_sec);
+    }
+  }
+  return merged;
+}
+
+GateResult gate_against_baseline(const PerfReport& baseline,
+                                 const PerfReport& current,
+                                 double tolerance) {
+  FNR_CHECK_MSG(std::isfinite(tolerance) && tolerance >= 0.0 &&
+                    tolerance < 1.0,
+                "gate tolerance must be in [0, 1), got " << tolerance);
+  GateResult result;
+  auto fail = [&](std::ostringstream& os) {
+    result.failures.push_back(os.str());
+  };
+
+  if (baseline.quick != current.quick) {
+    std::ostringstream os;
+    os << "mode mismatch: baseline is " << (baseline.quick ? "quick" : "full")
+       << ", current is " << (current.quick ? "quick" : "full");
+    fail(os);
+    return result;
+  }
+  if (baseline.cells.size() != current.cells.size()) {
+    std::ostringstream os;
+    os << "cell count mismatch: baseline has " << baseline.cells.size()
+       << ", current has " << current.cells.size()
+       << " (the measured sweep changed; refresh the baseline)";
+    fail(os);
+    return result;
+  }
+
+  for (std::size_t i = 0; i < baseline.cells.size(); ++i) {
+    const PerfCell& base = baseline.cells[i];
+    const PerfCell& cur = current.cells[i];
+    const std::string name = base.strategy + "/" + base.topology;
+    if (base.strategy != cur.strategy || base.topology != cur.topology ||
+        base.n != cur.n) {
+      std::ostringstream os;
+      os << "cell " << i << ": identity mismatch (baseline " << name << " n="
+         << base.n << ", current " << cur.strategy << "/" << cur.topology
+         << " n=" << cur.n << ")";
+      fail(os);
+      continue;
+    }
+    // Workload identity: any drift means the measured computation changed
+    // (e.g. the batched kernel stopped being bit-exact), not that the
+    // machine got slower — no tolerance applies. success_rate is compared
+    // through the JSON formatting so an in-memory report gates identically
+    // to its own round-tripped bytes.
+    if (base.trials != cur.trials || base.total_rounds != cur.total_rounds ||
+        format_double(base.success_rate, 4) !=
+            format_double(cur.success_rate, 4)) {
+      std::ostringstream os;
+      os << name << ": workload drift (trials " << base.trials << " -> "
+         << cur.trials << ", total_rounds " << base.total_rounds << " -> "
+         << cur.total_rounds << ", success_rate "
+         << format_double(base.success_rate, 4) << " -> "
+         << format_double(cur.success_rate, 4) << ")";
+      fail(os);
+      continue;
+    }
+    if (base.rounds_per_sec <= 0.0) continue;  // degenerate baseline timer
+    const double floor = base.rounds_per_sec * (1.0 - tolerance);
+    if (cur.rounds_per_sec < floor) {
+      std::ostringstream os;
+      os << name << ": rounds/sec regressed "
+         << format_double(base.rounds_per_sec, 2) << " -> "
+         << format_double(cur.rounds_per_sec, 2) << " (floor "
+         << format_double(floor, 2) << " at tolerance "
+         << format_double(tolerance, 2) << ")";
+      fail(os);
+    }
+  }
+  return result;
 }
 
 }  // namespace fnr::perf

@@ -97,9 +97,27 @@ std::string TrialAggregate::csv_header() {
          "fault_stale_reads,fault_moves_blocked";
 }
 
+namespace {
+
+/// RFC-4180 field quoting. Labels carry `?key=value&...` program suffixes
+/// and `|fault=<key>` cell suffixes, so a comma (or quote) in a parameter
+/// value would silently shift every later column of the row.
+std::string csv_quote(const std::string& field) {
+  if (field.find_first_of(",\"\r\n") == std::string::npos) return field;
+  std::string quoted = "\"";
+  for (const char c : field) {
+    if (c == '"') quoted.push_back('"');
+    quoted.push_back(c);
+  }
+  quoted.push_back('"');
+  return quoted;
+}
+
+}  // namespace
+
 std::string TrialAggregate::to_csv_row(const std::string& label) const {
   std::ostringstream os;
-  os << label << ',' << trials << ',' << successes << ',' << failures << ','
+  os << csv_quote(label) << ',' << trials << ',' << successes << ',' << failures << ','
      << format_double(success_rate, 4) << ',' << format_double(rounds.mean, 2)
      << ',' << format_double(rounds.median, 2) << ','
      << format_double(rounds.p90, 2) << ',' << format_double(rounds.p95, 2)

@@ -70,6 +70,8 @@ struct TrialAggregate {
 
   /// CSV column names matching to_csv_row (leading `label` column).
   [[nodiscard]] static std::string csv_header();
+  /// One CSV row; the label is RFC-4180-quoted when it contains a comma,
+  /// quote, or line break (cell keys embed program parameter values).
   [[nodiscard]] std::string to_csv_row(const std::string& label) const;
   /// Single-object JSON (stable key order, machine-diffable).
   [[nodiscard]] std::string to_json() const;
@@ -165,6 +167,44 @@ class TrialRunner {
       out.trial = trial;
       out.seed = seed;
       slots[trial] = out;
+    });
+    TrialAccumulator acc;
+    for (auto& out : slots) acc.add(out);
+    return acc;
+  }
+
+  /// Like run_with_scratch(), but dispatches *blocks* of consecutive trials
+  /// so a worker can hand each block to a lock-step batch kernel:
+  /// fn(scratch, first, count, outs) must fill outs[0..count) with the
+  /// outcomes of trials [first, first+count). Trial and seed fields are
+  /// stamped here afterwards (fn derives per-trial seeds itself via
+  /// trial_seed(base_seed, first + j), identical to the scalar path), and
+  /// accumulation still walks global trial order — so for a bit-exact
+  /// kernel the aggregate is byte-identical to run_with_scratch no matter
+  /// the batch size or thread count.
+  template <typename Scratch, typename Fn>
+  [[nodiscard]] TrialAccumulator run_batched(std::uint64_t n_trials,
+                                             std::uint64_t base_seed,
+                                             std::uint64_t batch_size,
+                                             Fn&& fn) const {
+    struct alignas(64) Slot {
+      std::optional<Scratch> scratch;
+    };
+    const std::uint64_t stride = batch_size == 0 ? 1 : batch_size;
+    const std::uint64_t blocks = n_trials / stride + (n_trials % stride != 0);
+    std::vector<TrialOutcome> slots(n_trials);
+    std::vector<Slot> scratches(planned_workers(blocks));
+    dispatch(blocks, [&](unsigned worker, std::uint64_t block) {
+      auto& scratch = scratches[worker].scratch;
+      if (!scratch.has_value()) scratch.emplace();
+      const std::uint64_t first = block * stride;
+      const std::uint64_t count =
+          first + stride <= n_trials ? stride : n_trials - first;
+      fn(*scratch, first, count, slots.data() + first);
+      for (std::uint64_t j = 0; j < count; ++j) {
+        slots[first + j].trial = first + j;
+        slots[first + j].seed = trial_seed(base_seed, first + j);
+      }
     });
     TrialAccumulator acc;
     for (auto& out : slots) acc.add(out);

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <vector>
 
+#include "sim/batch_scheduler.hpp"
 #include "sim/scheduler.hpp"
 
 namespace fnr::scenario {
@@ -159,6 +160,66 @@ runner::TrialAccumulator run_scenario_trials(
         const auto report = run_scenario(scenario, program, g, placement,
                                          trial_options, scratch);
         return to_outcome(trial, seed, report.run);
+      });
+}
+
+runner::TrialAccumulator run_scenario_trials(
+    const Scenario& scenario, const Program& program, const graph::Graph& g,
+    const ScenarioOptions& options, std::uint64_t n_trials,
+    const runner::TrialRunner& trial_runner, std::uint64_t batch_size) {
+  // Faulty cells keep the scalar oracle: fault sites draw from the session
+  // stream in global round order, which a lock-step batch would reorder.
+  if (batch_size <= 1 || options.fault.active())
+    return run_scenario_trials(scenario, program, g, options, n_trials,
+                               trial_runner);
+
+  // Trial-invariant validation and the round cap, hoisted out of the loop
+  // (the scalar path re-derives them per trial with identical results).
+  scenario.validate();
+  const ProgramDef& def = program.def();
+  FNR_CHECK_MSG(g.min_degree() >= 1, "graph must have no isolated vertices");
+  check_runnable(def, g);
+  const std::uint64_t cap =
+      options.max_rounds > 0
+          ? options.max_rounds
+          : auto_round_cap(g, scenario, program, options.params);
+
+  return trial_runner.run_batched<sim::BatchSchedulerScratch>(
+      n_trials, options.seed, batch_size,
+      [&](sim::BatchSchedulerScratch& scratch, std::uint64_t first,
+          std::uint64_t count, runner::TrialOutcome* outs) {
+        sim::BatchScheduler& kernel = scratch.kernel_for(g, def.model);
+        kernel.begin_batch(scenario.gathering);
+        // One agent team per staged trial, alive until the kernel ran.
+        std::vector<std::vector<std::unique_ptr<sim::Agent>>> teams;
+        teams.reserve(count);
+        std::vector<sim::Agent*> pointers;
+        for (std::uint64_t j = 0; j < count; ++j) {
+          const std::uint64_t seed =
+              runner::trial_seed(options.seed, first + j);
+          // Stream discipline identical to the scalar trial lambda: stream
+          // 11 draws the instance, the agent builds split the bare seed in
+          // slot order.
+          Rng instance_rng(seed, /*stream=*/11);
+          const auto placement = draw_instance(scenario, g, instance_rng);
+          FNR_CHECK_MSG(placement.num_agents() == scenario.num_agents,
+                        "placement has " << placement.num_agents()
+                                         << " starts for a "
+                                         << scenario.num_agents
+                                         << "-agent scenario");
+          Rng seed_rng(seed);
+          teams.push_back(build_agents(program, scenario.num_agents, g,
+                                       options.params, seed_rng));
+          pointers.clear();
+          for (const auto& agent : teams.back())
+            pointers.push_back(agent.get());
+          kernel.add_trial(pointers, placement, cap);
+        }
+        const auto results = kernel.run();
+        for (std::uint64_t j = 0; j < count; ++j)
+          outs[j] = to_outcome(first + j,
+                               runner::trial_seed(options.seed, first + j),
+                               results[j]);
       });
 }
 

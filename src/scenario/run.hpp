@@ -96,4 +96,16 @@ struct ScenarioReport {
     const ScenarioOptions& options, std::uint64_t n_trials,
     const runner::TrialRunner& trial_runner);
 
+/// Same batch, executed `batch_size` trials at a time on the lock-step SoA
+/// kernel (sim::BatchScheduler). Seeds, placements, and agent builds follow
+/// the scalar schedule exactly and the kernel is bit-exact against the
+/// scalar Scheduler, so aggregates are byte-identical to the overload
+/// above. Falls back to the scalar path when batch_size <= 1 or the
+/// options carry an active fault plan (fault sites consume RNG in round
+/// order, which lock-stepping would re-interleave).
+[[nodiscard]] runner::TrialAccumulator run_scenario_trials(
+    const Scenario& scenario, const Program& program, const graph::Graph& g,
+    const ScenarioOptions& options, std::uint64_t n_trials,
+    const runner::TrialRunner& trial_runner, std::uint64_t batch_size);
+
 }  // namespace fnr::scenario

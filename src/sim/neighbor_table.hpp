@@ -1,0 +1,48 @@
+// Graph-wide observation tables shared by lock-stepped trials.
+//
+// Every trial of one sweep cell walks the same immutable graph, so the
+// per-View lazy neighbor-ID cache (one vertex wide) re-derives the same
+// ID lists over and over across trials. A NeighborTable materializes the
+// whole answer space once per graph: neighbor IDs in port order for every
+// vertex, plus the inverse ID→index map as a flat array. Views served from
+// a shared table (see View::neighbor_ids / View::port_of) return exactly
+// what the lazy cache would have returned — same values, same order — so
+// swapping the table in is observationally invisible to agents.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace fnr::sim {
+
+struct NeighborTable {
+  explicit NeighborTable(const graph::Graph& g);
+
+  /// ids[v][port] — ID of vertex v's neighbor through `port` (the exact
+  /// sequence View's per-vertex cache would produce for v).
+  std::vector<std::vector<graph::VertexId>> ids;
+  /// rev[v][port] — the arrival port an agent observes after crossing
+  /// `port` from v: with u = neighbors(v)[port], rev[v][port] is
+  /// Graph::port_to(u, v). Precomputing it turns the kernel's per-move
+  /// binary search into one array load.
+  std::vector<std::vector<std::uint32_t>> rev;
+  /// index_by_id[id] — vertex index for `id`, kNoVertex for unused IDs.
+  /// Built only when the ID space is dense enough (id_bound = O(n)) for a
+  /// flat array to be cheap; empty under sparse polynomial naming, where
+  /// lookups fall back to the graph's hash index.
+  std::vector<graph::VertexIndex> index_by_id;
+
+  /// Sentinel in port_by_pair for vertex pairs that share no edge.
+  static constexpr std::uint16_t kNoPort = 0xFFFF;
+  /// port_by_pair[v * num_vertices + u] — the port leading from v to u
+  /// (kNoPort when vu is not an edge). Turns the route-following
+  /// View::port_of binary search into one array load. Quadratic in n, so
+  /// it is only built for small graphs; empty otherwise, and lookups fall
+  /// back to Graph::port_to.
+  std::vector<std::uint16_t> port_by_pair;
+  std::size_t num_vertices = 0;
+};
+
+}  // namespace fnr::sim

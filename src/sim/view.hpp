@@ -29,6 +29,8 @@ class FaultSession;
 namespace fnr::sim {
 
 class Scheduler;
+class BatchScheduler;
+struct NeighborTable;
 
 class View {
  public:
@@ -85,6 +87,7 @@ class View {
 
  private:
   friend class Scheduler;
+  friend class BatchScheduler;
 
   AgentName agent_ = AgentName::A;
   std::uint64_t round_ = 0;
@@ -102,6 +105,11 @@ class View {
   fault::FaultSession* faults_ = nullptr;
   graph::VertexIndex here_index_ = graph::kNoVertex;
   std::optional<std::size_t> arrival_port_;
+  // Graph-wide observation table shared across lock-stepped trials, or
+  // null (the scalar path). When set, neighbor_ids()/port_of() answer from
+  // it — observationally identical to the lazy cache, just precomputed once
+  // per graph instead of once per (View, vertex).
+  const NeighborTable* shared_ids_ = nullptr;
   // Neighbor-ID cache, keyed by the vertex it was filled for. The graph is
   // immutable, so entries stay valid across rounds and runs; capacity is
   // reserved to the graph's max degree so refills never allocate.

@@ -173,7 +173,8 @@ CellResult restored_result(const SweepCell& cell,
 }
 
 CellResult execute_cell(const SweepCell& cell, GraphCache& cache,
-                        const runner::TrialRunner& trial_runner) {
+                        const runner::TrialRunner& trial_runner,
+                        std::uint64_t batch) {
   CellResult result;
   result.cell = cell;
   const auto start = std::chrono::steady_clock::now();
@@ -184,7 +185,7 @@ CellResult execute_cell(const SweepCell& cell, GraphCache& cache,
     options.seed = cell.seed;
     options.fault = cell.fault;
     const auto acc = scenario::run_scenario_trials(
-        scen, cell.program, g, options, cell.trials, trial_runner);
+        scen, cell.program, g, options, cell.trials, trial_runner, batch);
     result.agg_json = acc.aggregate().to_json();
   } catch (const CheckError& error) {
     // A cell that cannot run (e.g. no-whiteboard on a graph with isolated
@@ -274,7 +275,7 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options) {
     }
     if (options.max_cells > 0 && result.executed >= options.max_cells)
       continue;  // "killed" mid-campaign: later cells stay unfinished
-    staged[slot] = execute_cell(cell, cache, trial_runner);
+    staged[slot] = execute_cell(cell, cache, trial_runner, options.batch);
     have[slot] = 1;
     ++result.executed;
     if (checkpoint.is_open()) {
@@ -444,17 +445,23 @@ std::string to_json(const SweepSpec& spec,
       if (r.cell.fault.active()) {
         SweepCell twin = r.cell;
         twin.fault = fault::FaultPlan{};
-        if (const auto it = fault_free.find(twin.key());
-            it != fault_free.end()) {
-          const auto faulty = parse_agg_json(r.agg_json);
+        // The block is emitted only when the report actually contains a
+        // usable control: the twin may be missing entirely (sharded run
+        // with the twin in another shard, or a truncated cell set), and a
+        // control with no finished rounds would make the overhead ratio
+        // meaningless. In both cases the cell simply carries no
+        // vs_fault_free block rather than fabricated numbers.
+        const auto it = fault_free.find(twin.key());
+        if (it != fault_free.end()) {
           const auto control = parse_agg_json(it->second->agg_json);
-          const double overhead = control.rounds.mean > 0.0
-                                      ? faulty.rounds.mean / control.rounds.mean
-                                      : 0.0;
-          os << ",\"vs_fault_free\":{\"rounds_overhead\":"
-             << format_double(overhead, 4) << ",\"success_drop\":"
-             << format_double(control.success_rate - faulty.success_rate, 4)
-             << "}";
+          if (control.rounds.mean > 0.0) {
+            const auto faulty = parse_agg_json(r.agg_json);
+            os << ",\"vs_fault_free\":{\"rounds_overhead\":"
+               << format_double(faulty.rounds.mean / control.rounds.mean, 4)
+               << ",\"success_drop\":"
+               << format_double(control.success_rate - faulty.success_rate, 4)
+               << "}";
+          }
         }
       }
     } else {

@@ -55,6 +55,11 @@ struct SweepOptions {
   /// Stop after this many newly-executed cells (0 = no limit). The CI
   /// smoke uses this as a deterministic "kill mid-campaign".
   std::uint64_t max_cells = 0;
+  /// Lock-step batch size for the SoA trial kernel (0 or 1 = scalar path).
+  /// Purely a throughput lever: the kernel is bit-exact against the scalar
+  /// Scheduler, so merged JSON is byte-identical either way (faulty cells
+  /// always run scalar). Deliberately NOT part of any cell key.
+  std::uint64_t batch = 0;
   /// Generated-topology cache slots (graphs are keyed by
   /// SweepCell::graph_key(); eviction is least-recently-used).
   std::size_t graph_cache_capacity = 4;

@@ -381,6 +381,35 @@ TEST(FaultSweep, BadFaultTokenNamesTheSpecLine) {
   }
 }
 
+TEST(FaultSweep, MissingTwinEmitsNoVsFaultFreeBlock) {
+  // A shard (or a truncated merge) can hold a faulty cell whose fault-free
+  // twin lives elsewhere; its report entry must then simply carry no
+  // vs_fault_free block — not deltas computed against a fabricated control.
+  const auto spec = sweep::parse_spec(kFaultSweepSpec);
+  const auto full = sweep::run_sweep(spec, sweep::SweepOptions{});
+  ASSERT_TRUE(full.complete);
+  EXPECT_NE(sweep::to_json(spec, full.cells).find("\"vs_fault_free\""),
+            std::string::npos);
+
+  // Split the campaign the worst way: every faulty cell in one "shard",
+  // every control twin in the other.
+  std::vector<sweep::CellResult> faulty_only;
+  std::vector<sweep::CellResult> controls_only;
+  for (const auto& cell : full.cells)
+    (cell.cell.fault.active() ? faulty_only : controls_only).push_back(cell);
+  ASSERT_FALSE(faulty_only.empty());
+  ASSERT_FALSE(controls_only.empty());
+
+  const std::string orphaned = sweep::to_json(spec, faulty_only);
+  EXPECT_EQ(orphaned.find("\"vs_fault_free\""), std::string::npos);
+  // The cells themselves are intact — only the comparison block is gone.
+  EXPECT_NE(orphaned.find("\"fault\":\"crash?downtime=2&rate=0.2\""),
+            std::string::npos);
+  EXPECT_NE(orphaned.find("\"agg\""), std::string::npos);
+  EXPECT_EQ(sweep::to_json(spec, controls_only).find("\"vs_fault_free\""),
+            std::string::npos);
+}
+
 TEST(FaultSweep, InterruptedResumedAndShardedCampaignsMatchByteForByte) {
   const auto spec = sweep::parse_spec(kFaultSweepSpec);
 

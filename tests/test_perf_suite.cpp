@@ -105,6 +105,123 @@ TEST(PerfSuite, ParseRejectsUnknownFieldsAndTrailingContent) {
   EXPECT_THROW((void)perf::parse_report("not json at all"), CheckError);
 }
 
+TEST(PerfSuite, BatchFieldRoundTripsAndDefaultsToScalar) {
+  auto config = tiny_config();
+  config.batch = 4;
+  const auto report = perf::run_perf_suite(config);
+  EXPECT_EQ(report.batch, 4u);
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"batch\": 4"), std::string::npos);
+  EXPECT_EQ(perf::parse_report(json).to_json(), json);
+  // Pre-batch baselines carry no "batch" field and parse as scalar —
+  // committed BENCH_perf.json files from before the field stay readable.
+  auto scalar = report;
+  scalar.batch = 0;
+  const std::string old_style = scalar.to_json();
+  EXPECT_EQ(old_style.find("\"batch\""), std::string::npos);
+  EXPECT_EQ(perf::parse_report(old_style).batch, 0u);
+}
+
+TEST(PerfSuite, BestOfTakesPerCellFastestMeasurement) {
+  const auto base = perf::run_perf_suite(tiny_config());
+
+  // Two noisy reps: each is slow on a different cell. The merge keeps the
+  // best measurement per cell, so gating best-of-N against the clean
+  // report is green even though every individual rep would fail.
+  auto noisy_a = base;
+  noisy_a.cells[0].rounds_per_sec = base.cells[0].rounds_per_sec * 0.1;
+  noisy_a.cells[0].trials_per_sec = base.cells[0].trials_per_sec * 0.1;
+  noisy_a.cells[0].seconds = base.cells[0].seconds * 10.0;
+  auto noisy_b = base;
+  noisy_b.cells[1].rounds_per_sec = base.cells[1].rounds_per_sec * 0.1;
+  EXPECT_FALSE(perf::gate_against_baseline(base, noisy_a, 0.30).ok());
+  EXPECT_FALSE(perf::gate_against_baseline(base, noisy_b, 0.30).ok());
+
+  const auto merged = perf::best_of({noisy_a, noisy_b});
+  EXPECT_TRUE(perf::gate_against_baseline(base, merged, 0.30).ok());
+  for (std::size_t i = 0; i < base.cells.size(); ++i) {
+    EXPECT_EQ(merged.cells[i].rounds_per_sec, base.cells[i].rounds_per_sec);
+    EXPECT_EQ(merged.cells[i].seconds, base.cells[i].seconds);
+  }
+
+  // A single-report merge is the identity; identity-field drift between
+  // reps and an empty input are contract violations, not data.
+  EXPECT_EQ(perf::best_of({base}).to_json(), base.to_json());
+  auto drifted = base;
+  drifted.cells[0].total_rounds += 1;
+  EXPECT_THROW((void)perf::best_of({base, drifted}), CheckError);
+  EXPECT_THROW((void)perf::best_of({}), CheckError);
+}
+
+TEST(PerfSuite, GateComparesRatesWithTolerance) {
+  const auto base = perf::run_perf_suite(tiny_config());
+
+  // Identical report: green.
+  EXPECT_TRUE(perf::gate_against_baseline(base, base, 0.30).ok());
+
+  // A >30% rounds/sec drop on any one cell fails and names the cell.
+  auto slow = base;
+  slow.cells[1].rounds_per_sec = base.cells[1].rounds_per_sec * 0.5;
+  const auto verdict = perf::gate_against_baseline(base, slow, 0.30);
+  ASSERT_EQ(verdict.failures.size(), 1u);
+  EXPECT_NE(verdict.failures[0].find(slow.cells[1].strategy),
+            std::string::npos);
+  EXPECT_NE(verdict.failures[0].find(slow.cells[1].topology),
+            std::string::npos);
+
+  // A drop inside the tolerance passes; a speedup always passes (baseline
+  // refreshes after a legitimate win are deliberate, not gate failures).
+  auto near = base;
+  near.cells[1].rounds_per_sec = base.cells[1].rounds_per_sec * 0.8;
+  EXPECT_TRUE(perf::gate_against_baseline(base, near, 0.30).ok());
+  auto fast = base;
+  for (auto& cell : fast.cells) cell.rounds_per_sec *= 10.0;
+  EXPECT_TRUE(perf::gate_against_baseline(base, fast, 0.30).ok());
+
+  // The batch field is a throughput lever, not an identity: a batched run
+  // gates cleanly against a scalar baseline.
+  auto batched = base;
+  batched.batch = 8;
+  EXPECT_TRUE(perf::gate_against_baseline(base, batched, 0.30).ok());
+
+  // A degenerate baseline rate cannot produce a floor: the cell is skipped.
+  auto zero_rate = base;
+  zero_rate.cells[0].rounds_per_sec = 0.0;
+  auto slower_everywhere = base;
+  slower_everywhere.cells[0].rounds_per_sec = 1.0;
+  EXPECT_TRUE(
+      perf::gate_against_baseline(zero_rate, slower_everywhere, 0.30).ok());
+
+  EXPECT_THROW((void)perf::gate_against_baseline(base, base, 1.0), CheckError);
+  EXPECT_THROW((void)perf::gate_against_baseline(base, base, -0.1),
+               CheckError);
+}
+
+TEST(PerfSuite, GateRejectsIdentityAndWorkloadDrift) {
+  const auto base = perf::run_perf_suite(tiny_config());
+
+  // The gate is only meaningful cell-for-cell: shape mismatches fail fast.
+  auto truncated = base;
+  truncated.cells.pop_back();
+  EXPECT_FALSE(perf::gate_against_baseline(base, truncated, 0.30).ok());
+  auto quick_mismatch = base;
+  quick_mismatch.quick = !base.quick;
+  EXPECT_FALSE(perf::gate_against_baseline(base, quick_mismatch, 0.30).ok());
+
+  // Identity drift (renamed cell) and workload drift (different rounds —
+  // e.g. an algorithm change smuggled past the throughput comparison)
+  // each fail even when the rate itself looks fine.
+  auto renamed = base;
+  renamed.cells[0].topology = "other-topology";
+  EXPECT_FALSE(perf::gate_against_baseline(base, renamed, 0.30).ok());
+  auto drifted = base;
+  drifted.cells[0].total_rounds += 1;
+  EXPECT_FALSE(perf::gate_against_baseline(base, drifted, 0.30).ok());
+  auto rate_drift = base;
+  rate_drift.cells[0].success_rate = base.cells[0].success_rate * 0.5;
+  EXPECT_FALSE(perf::gate_against_baseline(base, rate_drift, 0.30).ok());
+}
+
 TEST(PerfSuite, ValidateRejectsDegenerateReports) {
   auto report = perf::run_perf_suite(tiny_config());
 

@@ -45,11 +45,29 @@ TrialAggregate sample_aggregate(std::uint64_t base_seed, std::uint64_t n) {
   return acc.aggregate();
 }
 
+/// RFC-4180-aware splitter: a field starting with `"` runs to the closing
+/// quote (with `""` unescaping to `"`), so quoted labels containing commas
+/// come back as one field.
 std::vector<std::string> split_csv(const std::string& line) {
   std::vector<std::string> fields;
   std::string current;
-  for (const char c : line) {
-    if (c == ',') {
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"' && current.empty()) {
+      quoted = true;
+    } else if (c == ',') {
       fields.push_back(current);
       current.clear();
     } else {
@@ -127,6 +145,32 @@ TEST(TrialIoRoundtrip, CsvRowParsesBackToTheAggregate) {
       }
     }
   }
+}
+
+TEST(TrialIoRoundtrip, HostileLabelsAreQuotedAndRoundTrip) {
+  // Cell keys embed program parameter values (`?key=value&...`) and fault
+  // suffixes (`|fault=<key>`); commas and quotes in a value used to shift
+  // every later column of the row.
+  const auto agg = sample_aggregate(5, 48);
+  const std::size_t columns = split_csv(TrialAggregate::csv_header()).size();
+  const std::vector<std::string> labels = {
+      "whiteboard?k=1,j=2",
+      "alg?note=\"quoted\"",
+      "a,b\"c\",,\"",
+      "plain-label",
+  };
+  for (const auto& label : labels) {
+    const auto row = split_csv(agg.to_csv_row(label));
+    ASSERT_EQ(row.size(), columns) << "label shifted columns: " << label;
+    EXPECT_EQ(row.front(), label);
+    // The numeric columns are unaffected by the label.
+    EXPECT_EQ(row[1], std::to_string(agg.trials));
+    EXPECT_EQ(row[2], std::to_string(agg.successes));
+  }
+  // Unquoted plain labels stay byte-identical to the pre-quoting format.
+  EXPECT_EQ(agg.to_csv_row("cell_x").rfind("cell_x,", 0), 0u);
+  // A label with a comma is emitted inside quotes, inner quotes doubled.
+  EXPECT_EQ(agg.to_csv_row("a,\"b\"").rfind("\"a,\"\"b\"\"\",", 0), 0u);
 }
 
 TEST(TrialIoRoundtrip, JsonParsesBackToTheAggregate) {
