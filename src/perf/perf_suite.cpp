@@ -10,6 +10,9 @@
 #include "core/rendezvous.hpp"
 #include "graph/generators.hpp"
 #include "scenario/program_registry.hpp"
+#include "scenario/run.hpp"
+#include "scenario/scenario.hpp"
+#include "sim/model.hpp"
 #include "util/check.hpp"
 #include "util/json.hpp"
 #include "util/table.hpp"
@@ -80,6 +83,45 @@ std::uint64_t trials_for(const PerfConfig& config) {
   return config.quick ? 8 : 256;
 }
 
+/// One swarm measurement: a k-agent quorum workload driven through the
+/// scenario engine's occupancy-count meeting path. The Scenario each label
+/// resolves to is pinned here (not looked up by name at run time), so
+/// registry edits cannot silently change what a committed cell measured.
+struct SwarmWorkload {
+  std::string label;     ///< the cell's scenario field
+  std::string topology;  ///< must name a topology of the same mode
+  std::uint64_t n;
+  std::size_t agents;
+  std::uint64_t quorum;
+};
+
+const std::vector<SwarmWorkload>& swarm_workloads(bool quick) {
+  static const std::vector<SwarmWorkload> quick_cells = {
+      {"swarm-quorum-k16", "torus-8x8", 64, 16, 4}};
+  static const std::vector<SwarmWorkload> full_cells = {
+      {"swarm-quorum-k256", "torus-32x32", 1024, 256, 16}};
+  return quick ? quick_cells : full_cells;
+}
+
+/// Swarm trials are far heavier than two-agent trials (k agents per round,
+/// larger round caps), so the full-mode default is smaller than trials_for.
+std::uint64_t swarm_trials_for(const PerfConfig& config) {
+  if (config.trials > 0) return config.trials;
+  return config.quick ? 8 : 32;
+}
+
+scenario::Scenario swarm_scenario(const SwarmWorkload& workload) {
+  scenario::Scenario scen;
+  scen.name = workload.label;
+  scen.summary = "perf swarm cell";
+  scen.num_agents = workload.agents;
+  scen.placement = scenario::PlacementModel::RandomDistinct;
+  scen.delay = scenario::DelayModel::None;
+  scen.gathering = sim::Gathering::quorum_of(workload.quorum);
+  scen.validate();
+  return scen;
+}
+
 }  // namespace
 
 std::vector<PerfCellSpec> perf_cell_specs(const PerfConfig& config) {
@@ -87,9 +129,15 @@ std::vector<PerfCellSpec> perf_cell_specs(const PerfConfig& config) {
   std::vector<PerfCellSpec> specs;
   for (const auto* def : measured_programs()) {
     for (const auto& topology : topologies(config.quick)) {
-      specs.push_back(PerfCellSpec{def->label, topology.label,
+      specs.push_back(PerfCellSpec{def->label, "", topology.label,
                                    topology.n, trials});
     }
+  }
+  const std::uint64_t swarm_trials = swarm_trials_for(config);
+  for (const auto& workload : swarm_workloads(config.quick)) {
+    specs.push_back(PerfCellSpec{"explore-rally", workload.label,
+                                 workload.topology, workload.n,
+                                 swarm_trials});
   }
   return specs;
 }
@@ -133,23 +181,47 @@ PerfReport run_perf_suite(const PerfConfig& config) {
     FNR_CHECK(graph_it != graphs.end());
     const graph::Graph& g = graph_it->second;
 
-    core::RendezvousOptions options;
-    options.seed = config.seed;
-
     const auto start = std::chrono::steady_clock::now();
-    const auto acc =
-        config.batch > 1
-            ? core::run_trials_batched(strategy_named(spec.strategy), g,
-                                       options, spec.trials, trial_runner,
-                                       config.batch)
-            : core::run_trials(strategy_named(spec.strategy), g, options,
-                               spec.trials, trial_runner);
+    const auto acc = [&] {
+      if (!spec.scenario.empty()) {
+        const auto& workloads = swarm_workloads(config.quick);
+        const auto workload_it =
+            std::find_if(workloads.begin(), workloads.end(),
+                         [&](const SwarmWorkload& w) {
+                           return w.label == spec.scenario;
+                         });
+        FNR_CHECK_MSG(workload_it != workloads.end(),
+                      "unknown swarm workload '" << spec.scenario << "'");
+        const scenario::Scenario scen = swarm_scenario(*workload_it);
+        const scenario::Program program =
+            scenario::find_program(spec.strategy);
+        scenario::ScenarioOptions scenario_options;
+        scenario_options.seed = config.seed;
+        // The cell exists to measure the occupancy-count meeting engine.
+        // Pin the detection mode (rather than trusting the Auto cutover)
+        // and ignore config.batch: the lock-step kernel keeps a pairwise
+        // scan, so batching would time the wrong code path.
+        scenario_options.detection = sim::MeetingDetection::Occupancy;
+        return scenario::run_scenario_trials(scen, program, g,
+                                             scenario_options, spec.trials,
+                                             trial_runner);
+      }
+      core::RendezvousOptions options;
+      options.seed = config.seed;
+      return config.batch > 1
+                 ? core::run_trials_batched(strategy_named(spec.strategy), g,
+                                            options, spec.trials,
+                                            trial_runner, config.batch)
+                 : core::run_trials(strategy_named(spec.strategy), g, options,
+                                    spec.trials, trial_runner);
+    }();
     const auto stop = std::chrono::steady_clock::now();
     const double seconds =
         std::chrono::duration<double>(stop - start).count();
 
     PerfCell cell;
     cell.strategy = spec.strategy;
+    cell.scenario = spec.scenario;
     cell.topology = spec.topology;
     cell.n = spec.n;
     cell.trials = acc.count();
@@ -181,7 +253,11 @@ std::string PerfReport::to_json() const {
   os << "  \"cells\": [\n";
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const auto& c = cells[i];
-    os << "    {\"strategy\":\"" << c.strategy << "\",\"topology\":\""
+    os << "    {\"strategy\":\"" << c.strategy << "\",";
+    // Emitted only for swarm cells, so strategy-only reports keep the exact
+    // bytes they had before the field existed.
+    if (!c.scenario.empty()) os << "\"scenario\":\"" << c.scenario << "\",";
+    os << "\"topology\":\""
        << c.topology << "\",\"n\":" << c.n << ",\"trials\":" << c.trials
        << ",\"total_rounds\":" << c.total_rounds
        << ",\"success_rate\":" << format_double(c.success_rate, 4)
@@ -209,6 +285,8 @@ PerfCell parse_cell(JsonCursor& cursor) {
     cursor.expect(':');
     if (key == "strategy") {
       cell.strategy = cursor.parse_string();
+    } else if (key == "scenario") {
+      cell.scenario = cursor.parse_string();
     } else if (key == "topology") {
       cell.topology = cursor.parse_string();
     } else if (key == "n") {
@@ -338,6 +416,7 @@ PerfReport best_of(const std::vector<PerfReport>& reports) {
       PerfCell& best = merged.cells[i];
       const PerfCell& cell = rep.cells[i];
       FNR_CHECK_MSG(cell.strategy == best.strategy &&
+                        cell.scenario == best.scenario &&
                         cell.topology == best.topology && cell.n == best.n &&
                         cell.trials == best.trials &&
                         cell.total_rounds == best.total_rounds &&
@@ -383,13 +462,17 @@ GateResult gate_against_baseline(const PerfReport& baseline,
   for (std::size_t i = 0; i < baseline.cells.size(); ++i) {
     const PerfCell& base = baseline.cells[i];
     const PerfCell& cur = current.cells[i];
-    const std::string name = base.strategy + "/" + base.topology;
-    if (base.strategy != cur.strategy || base.topology != cur.topology ||
-        base.n != cur.n) {
+    const std::string name =
+        base.strategy +
+        (base.scenario.empty() ? "" : "[" + base.scenario + "]") + "/" +
+        base.topology;
+    if (base.strategy != cur.strategy || base.scenario != cur.scenario ||
+        base.topology != cur.topology || base.n != cur.n) {
       std::ostringstream os;
       os << "cell " << i << ": identity mismatch (baseline " << name << " n="
-         << base.n << ", current " << cur.strategy << "/" << cur.topology
-         << " n=" << cur.n << ")";
+         << base.n << ", current " << cur.strategy
+         << (cur.scenario.empty() ? "" : "[" + cur.scenario + "]") << "/"
+         << cur.topology << " n=" << cur.n << ")";
       fail(os);
       continue;
     }

@@ -29,6 +29,9 @@ TrialOutcome TrialOutcome::from_run(std::uint64_t trial, std::uint64_t seed,
   out.seed = seed;
   out.met = run.met;
   out.meeting_round = run.meeting_round;
+  // The classic two-agent runner meets exactly in pairs; scenario runs
+  // carry the scheduler's actual co-location size (see scenario::to_outcome).
+  out.gathered_count = run.met ? 2 : 0;
   out.rounds = run.metrics.rounds;
   out.moves_a = run.metrics.moves_of(sim::AgentName::A);
   out.moves_b = run.metrics.moves_of(sim::AgentName::B);
@@ -62,11 +65,12 @@ TrialAggregate TrialAccumulator::aggregate() const {
 
   std::vector<double> rounds;
   rounds.reserve(sorted.size());
-  double moves_a = 0.0, moves_b = 0.0;
+  double moves_a = 0.0, moves_b = 0.0, gathered = 0.0;
   for (const auto& out : sorted) {
     if (out.met) {
       ++agg.successes;
       rounds.push_back(static_cast<double>(out.meeting_round));
+      gathered += static_cast<double>(out.gathered_count);
     } else {
       ++agg.failures;
     }
@@ -83,6 +87,8 @@ TrialAggregate TrialAccumulator::aggregate() const {
   const auto n = static_cast<double>(agg.trials);
   agg.success_rate = static_cast<double>(agg.successes) / n;
   agg.rounds = summarize(std::move(rounds));
+  agg.mean_gathered =
+      agg.successes > 0 ? gathered / static_cast<double>(agg.successes) : 0.0;
   agg.mean_marks = static_cast<double>(agg.total_marks) / n;
   agg.mean_moves_a = moves_a / n;
   agg.mean_moves_b = moves_b / n;
@@ -92,7 +98,7 @@ TrialAggregate TrialAccumulator::aggregate() const {
 std::string TrialAggregate::csv_header() {
   return "label,trials,successes,failures,success_rate,rounds_mean,"
          "rounds_median,rounds_p90,rounds_p95,rounds_min,rounds_max,"
-         "total_marks,mean_marks,mean_moves_a,mean_moves_b,"
+         "mean_gathered,total_marks,mean_marks,mean_moves_a,mean_moves_b,"
          "fault_crashes,fault_restarts,fault_writes_dropped,fault_wipes,"
          "fault_stale_reads,fault_moves_blocked";
 }
@@ -122,7 +128,8 @@ std::string TrialAggregate::to_csv_row(const std::string& label) const {
      << ',' << format_double(rounds.median, 2) << ','
      << format_double(rounds.p90, 2) << ',' << format_double(rounds.p95, 2)
      << ',' << format_double(rounds.min, 2)
-     << ',' << format_double(rounds.max, 2) << ',' << total_marks << ','
+     << ',' << format_double(rounds.max, 2) << ','
+     << format_double(mean_gathered, 2) << ',' << total_marks << ','
      << format_double(mean_marks, 2) << ',' << format_double(mean_moves_a, 2)
      << ',' << format_double(mean_moves_b, 2) << ',' << fault_totals.crashes
      << ',' << fault_totals.restarts << ',' << fault_totals.writes_dropped
@@ -142,6 +149,7 @@ std::string TrialAggregate::to_json() const {
      << ",\"p95\":" << format_double(rounds.p95, 2)
      << ",\"min\":" << format_double(rounds.min, 2)
      << ",\"max\":" << format_double(rounds.max, 2) << "}"
+     << ",\"mean_gathered\":" << format_double(mean_gathered, 2)
      << ",\"total_marks\":" << total_marks
      << ",\"mean_marks\":" << format_double(mean_marks, 2)
      << ",\"mean_moves_a\":" << format_double(mean_moves_a, 2)

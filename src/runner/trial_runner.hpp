@@ -37,6 +37,9 @@ struct TrialOutcome {
   std::uint64_t seed = 0;   ///< the split seed the trial ran with
   bool met = false;
   std::uint64_t meeting_round = 0;
+  /// Agents co-located on the meeting vertex at the meeting round (0 when
+  /// the trial did not meet; 2 for a classic pairwise rendezvous).
+  std::uint64_t gathered_count = 0;
   std::uint64_t rounds = 0;  ///< rounds executed (== meeting_round when met)
   std::uint64_t moves_a = 0;
   std::uint64_t moves_b = 0;
@@ -59,6 +62,10 @@ struct TrialAggregate {
   double success_rate = 0.0;
   /// Meeting rounds of successful trials.
   Summary rounds;
+  /// Mean gathered_count over successful trials (0.0 when none met): the
+  /// average co-location size at the meeting vertex — 2.0 for pairwise
+  /// rendezvous, k for all-meet, and in (threshold, k] for quorum cells.
+  double mean_gathered = 0.0;
   std::uint64_t total_marks = 0;
   double mean_marks = 0.0;
   double mean_moves_a = 0.0;

@@ -436,7 +436,12 @@ Program find_program(const std::string& spec) {
 bool compatible(const Program& program, const Scenario& scenario) {
   const ProgramCaps& caps = program.def().caps;
   if (scenario.num_agents > 2 && !caps.supports_multi_agent) return false;
-  if (scenario.gathering == sim::Gathering::All && !caps.supports_gather_all)
+  // Any predicate demanding more than a pairwise meeting (all-meet, but
+  // also Quorum/Fraction thresholds above 2) needs the rally coordination
+  // that supports_gather_all advertises — chance co-location of 3+ free
+  // walkers is not a strategy.
+  if (scenario.gathering.threshold(scenario.num_agents) > 2 &&
+      !caps.supports_gather_all)
     return false;
   if (scenario.placement == PlacementModel::RandomDistinct &&
       caps.needs_shared_neighborhood)

@@ -46,9 +46,13 @@ std::uint64_t auto_round_cap(const graph::Graph& g, const Scenario& scenario,
                              const Program& program,
                              const core::Params& params) {
   std::uint64_t cap = program.def().round_cap(g, params);
-  // Gathering everyone is a sequence of pairwise coalescences.
-  if (scenario.gathering == sim::Gathering::All)
-    cap *= static_cast<std::uint64_t>(scenario.num_agents - 1);
+  // Collecting t >= 3 agents on one vertex is a sequence of pairwise
+  // coalescences; scale the pairwise cap by the threshold size. (Under
+  // Gathering::All the threshold is k, reproducing the original k-1
+  // factor byte-for-byte; any-pair and Quorum(2) stay unscaled.)
+  const std::uint64_t threshold =
+      scenario.gathering.threshold(scenario.num_agents);
+  if (threshold > 2) cap *= (threshold - 1);
   // Sleeping rounds are dead rounds; extend the budget by the bound.
   return cap + scenario.max_delay;
 }
@@ -89,6 +93,7 @@ ScenarioReport run_scenario(const Scenario& scenario, const Program& program,
   for (const auto& agent : agents) pointers.push_back(agent.get());
 
   sim::Scheduler& scheduler = scratch.scheduler_for(g, def.model);
+  scheduler.set_meeting_detection(options.detection);
   if (!options.fault.active()) {
     report.run = scheduler.run_scenario(pointers, placement,
                                         scenario.gathering, report.round_cap);
@@ -131,6 +136,7 @@ runner::TrialOutcome to_outcome(std::uint64_t trial, std::uint64_t seed,
   out.seed = seed;
   out.met = run.met;
   out.meeting_round = run.meeting_round;
+  out.gathered_count = run.gathered_count;
   out.rounds = run.rounds;
   out.moves_a = run.agents.empty() ? 0 : run.agents[0].moves;
   out.moves_b = 0;

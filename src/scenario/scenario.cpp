@@ -37,6 +37,20 @@ void Scenario::validate() const {
                 "scenario '" << name
                              << "': max_delay must be positive exactly when "
                                 "a delay model is set");
+  if (gathering.kind == sim::Gathering::Quorum) {
+    FNR_CHECK_MSG(gathering.quorum >= 2,
+                  "scenario '" << name << "': a quorum needs at least 2 "
+                               "agents, got " << gathering.quorum);
+    FNR_CHECK_MSG(gathering.quorum <= num_agents,
+                  "scenario '" << name << "': quorum " << gathering.quorum
+                               << " exceeds the " << num_agents
+                               << "-agent population");
+  }
+  if (gathering.kind == sim::Gathering::Fraction) {
+    FNR_CHECK_MSG(gathering.fraction > 0.0 && gathering.fraction <= 1.0,
+                  "scenario '" << name << "': gathering fraction must be in "
+                               "(0, 1], got " << gathering.fraction);
+  }
 }
 
 std::string Scenario::describe() const {
@@ -88,6 +102,14 @@ std::deque<Scenario>& registry() {
                        "stand on one vertex",
                        5, PlacementModel::RandomDistinct, DelayModel::None, 0,
                        sim::Gathering::All});
+    builtin.push_back({"swarm-quorum", "12 agents dropped anywhere; any 4 on "
+                       "one vertex succeed",
+                       12, PlacementModel::RandomDistinct, DelayModel::None, 0,
+                       sim::Gathering::quorum_of(4)});
+    builtin.push_back({"swarm-fraction", "12 agents dropped anywhere; half "
+                       "the swarm on one vertex succeeds",
+                       12, PlacementModel::RandomDistinct, DelayModel::None, 0,
+                       sim::Gathering::fraction_of(0.5)});
     for (const auto& scenario : builtin) scenario.validate();
     return builtin;
   }();

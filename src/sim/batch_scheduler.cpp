@@ -7,28 +7,38 @@ namespace fnr::sim {
 namespace {
 
 /// Gathering predicate over one trial's position slice — the batched twin
-/// of the scalar scheduler's gathered() (same pair selection rules).
+/// of the scalar scheduler's gathered_threshold() (same threshold semantics
+/// and canonical-pair selection, so the scalar path stays a bit-exactness
+/// oracle for the kernel across every predicate).
 bool gathered_slice(const graph::VertexIndex* pos, std::size_t k,
-                    Gathering gathering, std::size_t& pair_a,
+                    std::uint64_t threshold, std::size_t& pair_a,
                     std::size_t& pair_b) {
-  switch (gathering) {
-    case Gathering::AnyPair:
-      for (std::size_t i = 0; i < k; ++i)
-        for (std::size_t j = i + 1; j < k; ++j)
-          if (pos[i] == pos[j]) {
-            pair_a = i;
-            pair_b = j;
-            return true;
-          }
-      return false;
-    case Gathering::All:
-      for (std::size_t i = 1; i < k; ++i)
-        if (pos[i] != pos[0]) return false;
-      pair_a = 0;
-      pair_b = k - 1;
+  if (threshold > k) return false;  // an unreachable quorum never gathers
+  for (std::size_t i = 0; i < k; ++i) {
+    std::uint64_t count = 1;
+    std::size_t second = i, last = i;
+    for (std::size_t j = i + 1; j < k; ++j) {
+      if (pos[j] != pos[i]) continue;
+      ++count;
+      if (second == i) second = j;
+      last = j;
+    }
+    if (count >= threshold) {
+      pair_a = i;
+      pair_b = threshold == k ? last : second;
       return true;
+    }
   }
   return false;
+}
+
+/// Agents standing on `vertex` within one trial's slice (gathered_count).
+std::uint64_t count_at_slice(const graph::VertexIndex* pos, std::size_t k,
+                             graph::VertexIndex vertex) {
+  std::uint64_t count = 0;
+  for (std::size_t i = 0; i < k; ++i)
+    if (pos[i] == vertex) ++count;
+  return count;
 }
 
 }  // namespace
@@ -118,6 +128,8 @@ std::vector<ScenarioRunResult> BatchScheduler::run() {
       results[t].agents[i].wake_delay = wake_at_[t * k_ + i];
   }
 
+  const std::uint64_t threshold = gathering_.threshold(k_);
+
   // --- lock-step round loop: allocation-free from here on ---
   // All trials start at their own round 0, so the global round counter *is*
   // every live trial's local round counter; a trial that ends simply drops
@@ -131,11 +143,13 @@ std::vector<ScenarioRunResult> BatchScheduler::run() {
       ScenarioRunResult& res = results[t];
       const std::size_t base = static_cast<std::size_t>(t) * k_;
 
-      if (gathered_slice(pos_.data() + base, k_, gathering_,
+      if (gathered_slice(pos_.data() + base, k_, threshold,
                          res.meeting_agent_a, res.meeting_agent_b)) {
         res.met = true;
         res.meeting_round = round;
         res.meeting_vertex = pos_[base + res.meeting_agent_a];
+        res.gathered_count =
+            count_at_slice(pos_.data() + base, k_, res.meeting_vertex);
         continue;  // finished: not kept in live_
       }
       if (round == caps_[t]) continue;  // budget exhausted without gathering

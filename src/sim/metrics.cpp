@@ -39,7 +39,7 @@ std::string ScenarioRunResult::describe() const {
   if (met) {
     os << "gathered at round " << meeting_round << " on vertex "
        << meeting_vertex << " (first pair " << meeting_agent_a << ", "
-       << meeting_agent_b << ")";
+       << meeting_agent_b << "; " << gathered_count << " co-located)";
   } else {
     os << "did not gather within " << rounds << " rounds";
   }

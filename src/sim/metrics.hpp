@@ -59,6 +59,11 @@ struct ScenarioRunResult {
   /// (0 and k-1 under Gathering::All, where everyone is co-located).
   std::size_t meeting_agent_a = 0;
   std::size_t meeting_agent_b = 0;
+  /// Agents standing on meeting_vertex at the meeting round (>= the
+  /// predicate's threshold when met; 0 otherwise). Under AnyPair this is
+  /// the co-location size — 2 unless more agents collided at once — and
+  /// under All it is k.
+  std::uint64_t gathered_count = 0;
   std::uint64_t rounds = 0;  ///< rounds executed before gathering/cap
   std::uint64_t whiteboard_reads = 0;
   std::uint64_t whiteboard_writes = 0;

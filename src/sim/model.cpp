@@ -1,0 +1,22 @@
+#include "sim/model.hpp"
+
+#include "util/table.hpp"
+
+namespace fnr::sim {
+
+std::string to_string(const Gathering& gathering) {
+  switch (gathering.kind) {
+    case Gathering::AnyPair:
+    case Gathering::All:
+      return to_string(gathering.kind);
+    case Gathering::Quorum:
+      return std::string("quorum?q=") + std::to_string(gathering.quorum);
+    case Gathering::Fraction:
+      // format_double(., 6) matches the topology-parameter canonicalization
+      // in sweep cell keys, so "fraction?f=0.5" round-trips byte-stably.
+      return std::string("fraction?f=") + format_double(gathering.fraction, 6);
+  }
+  return "?";
+}
+
+}  // namespace fnr::sim

@@ -7,6 +7,9 @@
 // executable rather than hypothetical.
 #pragma once
 
+#include <cstdint>
+#include <string>
+
 namespace fnr::sim {
 
 struct Model {
@@ -45,14 +48,80 @@ enum class AgentName { A, B };
 
 /// When a k-agent scenario counts as gathered (evaluated at the beginning of
 /// each round, like the paper's two-agent meeting convention).
-enum class Gathering {
-  AnyPair,  ///< some two agents co-located (the paper's k=2 rendezvous)
-  All,      ///< every agent on one vertex (multi-agent gathering)
+///
+/// Every predicate is a co-location threshold: the run succeeds as soon as
+/// some single vertex holds at least threshold(k) agents. AnyPair is
+/// threshold 2 (the paper's k=2 rendezvous), All is threshold k, Quorum(q)
+/// is an absolute count, Fraction(f) a relative one (ceil(f*k), clamped to
+/// at least 2 — gathering fewer than two agents is vacuous). The nested
+/// unscoped Kind enum keeps historical spellings (`Gathering::AnyPair`)
+/// valid: they name Kind values that convert implicitly.
+struct Gathering {
+  enum Kind {
+    AnyPair,   ///< some two agents co-located (the paper's k=2 rendezvous)
+    All,       ///< every agent on one vertex (multi-agent gathering)
+    Quorum,    ///< at least `quorum` agents on one vertex
+    Fraction,  ///< at least ceil(fraction * k) agents on one vertex
+  };
+
+  Kind kind = AnyPair;
+  std::uint64_t quorum = 0;  ///< meaningful only when kind == Quorum
+  double fraction = 0.0;     ///< meaningful only when kind == Fraction
+
+  constexpr Gathering() noexcept = default;
+  // Implicit on purpose: Kind values are the public spelling of the
+  // parameter-free predicates.
+  constexpr Gathering(Kind kind_in) noexcept : kind(kind_in) {}
+
+  [[nodiscard]] static constexpr Gathering quorum_of(
+      std::uint64_t q) noexcept {
+    Gathering g(Quorum);
+    g.quorum = q;
+    return g;
+  }
+  [[nodiscard]] static constexpr Gathering fraction_of(double f) noexcept {
+    Gathering g(Fraction);
+    g.fraction = f;
+    return g;
+  }
+
+  /// Co-located agents required on one vertex for a k-agent run to count as
+  /// gathered. Always >= 2; Quorum returns its count verbatim above that
+  /// floor (callers validate 2 <= q <= k — a larger q is simply never met).
+  [[nodiscard]] constexpr std::uint64_t threshold(
+      std::uint64_t k) const noexcept {
+    switch (kind) {
+      case AnyPair: return 2;
+      case All: return k;
+      case Quorum: return quorum < 2 ? 2 : quorum;
+      case Fraction: {
+        const double target = fraction * static_cast<double>(k);
+        std::uint64_t t = static_cast<std::uint64_t>(target);
+        if (static_cast<double>(t) < target) ++t;  // ceil without libm
+        return t < 2 ? 2 : t;
+      }
+    }
+    return 2;
+  }
+
+  friend constexpr bool operator==(const Gathering&,
+                                   const Gathering&) = default;
 };
 
-/// Stable label for scenario descriptors and table headers.
-[[nodiscard]] constexpr const char* to_string(Gathering gathering) noexcept {
-  return gathering == Gathering::AnyPair ? "any-pair" : "all-meet";
+/// Stable label of a parameter-free predicate kind.
+[[nodiscard]] constexpr const char* to_string(Gathering::Kind kind) noexcept {
+  switch (kind) {
+    case Gathering::AnyPair: return "any-pair";
+    case Gathering::All: return "all-meet";
+    case Gathering::Quorum: return "quorum";
+    case Gathering::Fraction: return "fraction";
+  }
+  return "?";
 }
+
+/// Canonical label including parameters ("any-pair", "all-meet",
+/// "quorum?q=3", "fraction?f=0.5"); the sweep grammar's gather= axis parses
+/// exactly these spellings back.
+[[nodiscard]] std::string to_string(const Gathering& gathering);
 
 }  // namespace fnr::sim

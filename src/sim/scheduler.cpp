@@ -8,29 +8,45 @@ namespace fnr::sim {
 
 namespace {
 
-/// Evaluates the gathering predicate over agent positions. On success fills
-/// the lexicographically first co-located pair (under All that is (0, k-1):
-/// every agent shares one vertex).
-bool gathered(const std::vector<graph::VertexIndex>& pos, Gathering gathering,
-              std::size_t& pair_a, std::size_t& pair_b) {
-  switch (gathering) {
-    case Gathering::AnyPair:
-      for (std::size_t i = 0; i < pos.size(); ++i)
-        for (std::size_t j = i + 1; j < pos.size(); ++j)
-          if (pos[i] == pos[j]) {
-            pair_a = i;
-            pair_b = j;
-            return true;
-          }
-      return false;
-    case Gathering::All:
-      for (std::size_t i = 1; i < pos.size(); ++i)
-        if (pos[i] != pos[0]) return false;
-      pair_a = 0;
-      pair_b = pos.size() - 1;
+/// The pairwise oracle: does some vertex hold >= `threshold` of the k
+/// positions? On success fills the canonical meeting pair — pair_a is the
+/// lowest-indexed agent standing on any vertex at the threshold; pair_b is
+/// the next agent sharing that vertex, except at threshold == k (all-meet,
+/// also Quorum(k)/Fraction(1.0)) where it is the last such agent, i.e.
+/// k - 1 — exactly the pre-swarm AnyPair/All conventions, which the golden
+/// traces pin. O(k^2); the occupancy path must recover identical values.
+bool gathered_threshold(const graph::VertexIndex* pos, std::size_t k,
+                        std::uint64_t threshold, std::size_t& pair_a,
+                        std::size_t& pair_b) {
+  if (threshold > k) return false;  // an unreachable quorum never gathers
+  for (std::size_t i = 0; i < k; ++i) {
+    // Counting only j >= i is sound: if i is not the lowest index on its
+    // vertex, that vertex was already counted fully at its lowest index.
+    std::uint64_t count = 1;
+    std::size_t second = i, last = i;
+    for (std::size_t j = i + 1; j < k; ++j) {
+      if (pos[j] != pos[i]) continue;
+      ++count;
+      if (second == i) second = j;
+      last = j;
+    }
+    if (count >= threshold) {
+      pair_a = i;
+      pair_b = threshold == k ? last : second;
       return true;
+    }
   }
   return false;
+}
+
+/// Agents standing on `vertex` (for ScenarioRunResult::gathered_count —
+/// both detection paths report the same scan-derived value).
+std::uint64_t count_at(const std::vector<graph::VertexIndex>& pos,
+                       graph::VertexIndex vertex) {
+  std::uint64_t count = 0;
+  for (const auto p : pos)
+    if (p == vertex) ++count;
+  return count;
 }
 
 }  // namespace
@@ -44,7 +60,7 @@ Placement random_adjacent_placement(const graph::Graph& g, Rng& rng) {
 }
 
 Scheduler::Scheduler(const graph::Graph& g, Model model)
-    : graph_(g), model_(model), boards_(g.num_vertices()) {}
+    : graph_(g), model_(model), boards_(g.num_vertices()), table_(g) {}
 
 void Scheduler::ensure_arena(std::size_t k) {
   if (views_.size() < k) {
@@ -63,28 +79,51 @@ void Scheduler::ensure_arena(std::size_t k) {
       view.model_ = model_;
       view.graph_ = &graph_;
       view.boards_ = model_.whiteboards ? &boards_ : nullptr;
-      // Worst-case degree reservation: per-vertex cache refills can then
-      // never outgrow capacity, so the round loop stays allocation-free.
-      view.neighbor_ids_cache_.reserve(graph_.max_degree());
+      // Neighborhood observations answer from the shared per-graph table
+      // (observationally identical to the old per-View lazy cache, without
+      // a per-view max-degree reservation — which matters at massive k).
+      view.shared_ids_ = &table_;
     }
   }
   // pos_ is consumed whole by the gathering predicate, so it must hold
   // exactly k entries; resizing within the reserved capacity never
   // allocates.
   pos_.resize(k);
-  for (std::size_t i = 0; i < k; ++i) arrival_port_[i].reset();
+  std::fill_n(arrival_port_.begin(), k, kNoArrival);
 }
 
 void Scheduler::aim_view(std::size_t agent, AgentName name,
                          std::uint64_t local_round, graph::VertexIndex here,
-                         std::optional<std::size_t> arrival) {
+                         std::uint32_t arrival) {
   View& view = views_[agent];
   view.agent_ = name;
   view.round_ = local_round;
   view.here_index_ = here;
   view.here_id_ = graph_.id_of(here);
   view.degree_ = graph_.degree(here);
-  view.arrival_port_ = arrival;
+  if (arrival == kNoArrival)
+    view.arrival_port_.reset();
+  else
+    view.arrival_port_ = arrival;
+}
+
+void Scheduler::verify_occupancy(std::size_t k,
+                                 std::uint64_t threshold) const {
+  std::uint64_t total = 0, at_threshold = 0;
+  for (const auto count : occ_) {
+    total += count;
+    if (count >= threshold) ++at_threshold;
+  }
+  FNR_CHECK_MSG(total == k, "occupancy self-check: counts sum to "
+                                << total << " for " << k << " agents");
+  FNR_CHECK_MSG(at_threshold == at_threshold_,
+                "occupancy self-check: " << at_threshold
+                                         << " vertices at threshold, counter "
+                                         << "says " << at_threshold_);
+  for (std::size_t i = 0; i < k; ++i)
+    FNR_CHECK_MSG(occ_[pos_[i]] >= 1,
+                  "occupancy self-check: agent " << i
+                                                 << "'s vertex has count 0");
 }
 
 RunResult Scheduler::run(Agent& agent_a, Agent& agent_b, Placement placement,
@@ -104,7 +143,7 @@ RunResult Scheduler::run(Agent& agent_a, Agent& agent_b, Placement placement,
 
   Agent* const agents[2] = {&agent_a, &agent_b};
   graph::VertexIndex pos[2] = {placement.a_start, placement.b_start};
-  std::optional<std::size_t> arrival[2];
+  std::uint32_t arrival[2] = {kNoArrival, kNoArrival};
   Action actions[2];
 
   RunResult result;
@@ -143,12 +182,12 @@ RunResult Scheduler::run(Agent& agent_a, Agent& agent_b, Placement placement,
     for (std::size_t i = 0; i < 2; ++i) {
       const std::size_t port = actions[i].move_port;
       if (port == Action::kStay) {
-        arrival[i].reset();
+        arrival[i] = kNoArrival;
         continue;
       }
       const graph::VertexIndex from = pos[i];
       pos[i] = graph_.neighbor_at_port(from, port);
-      arrival[i] = graph_.port_to(pos[i], from);
+      arrival[i] = table_.rev[from][port];
       ++result.metrics.moves[i];
     }
   }
@@ -174,8 +213,15 @@ ScenarioRunResult Scheduler::run_scenario(const std::vector<Agent*>& agents,
   for (std::size_t i = 0; i < k; ++i) {
     FNR_CHECK(agents[i] != nullptr);
     FNR_CHECK(placement.starts[i] < graph_.num_vertices());
-    for (std::size_t j = i + 1; j < k; ++j)
-      FNR_CHECK_MSG(placement.starts[i] != placement.starts[j],
+  }
+  {
+    // Distinctness via sort-and-compare: the naive pairwise check is
+    // O(k^2) and at massive k it dwarfs the run itself (at k = 10^6 it
+    // would cost minutes before the first round executes).
+    std::vector<graph::VertexIndex> sorted_starts(placement.starts);
+    std::sort(sorted_starts.begin(), sorted_starts.end());
+    for (std::size_t i = 1; i < k; ++i)
+      FNR_CHECK_MSG(sorted_starts[i] != sorted_starts[i - 1],
                     "agents must start at distinct vertices");
   }
   boards_.clear_all();
@@ -198,15 +244,65 @@ ScenarioRunResult Scheduler::run_scenario(const std::vector<Agent*>& agents,
 
   std::copy(placement.starts.begin(), placement.starts.end(), pos_.begin());
 
+  const std::uint64_t threshold = gathering.threshold(k);
+  const bool occupancy = use_occupancy(k);
+  if (occupancy) {
+    if (occ_.size() != graph_.num_vertices()) {
+      occ_.assign(graph_.num_vertices(), 0);  // warm-up only
+    } else if (occ_dirty_) {
+      std::fill(occ_.begin(), occ_.end(), 0);  // a prior run threw mid-flight
+    }
+    // A clean exit unseeds its own k increments (cheaper than an O(n)
+    // clear), so the array is all-zero here and seeding is pure increments.
+    occ_dirty_ = true;
+    at_threshold_ = 0;
+    for (std::size_t i = 0; i < k; ++i)
+      if (++occ_[pos_[i]] == threshold) ++at_threshold_;
+  }
+
   const std::uint64_t wb_reads0 = boards_.reads();
   const std::uint64_t wb_writes0 = boards_.writes();
 
   for (std::uint64_t round = 0; round <= max_rounds; ++round) {
-    if (gathered(pos_, gathering, result.meeting_agent_a,
-                 result.meeting_agent_b)) {
+    bool met_now;
+    if (occupancy) {
+      if (self_check_) verify_occupancy(k, threshold);
+      met_now = at_threshold_ > 0;
+      if (met_now) {
+        // Recover the canonical pair the pairwise oracle would report: the
+        // minimal index satisfying either predicate form is the same agent
+        // (the lowest index on a gathered vertex sees its full count).
+        std::size_t pair_a = 0;
+        for (std::size_t i = 0; i < k; ++i) {
+          if (occ_[pos_[i]] >= threshold) {
+            pair_a = i;
+            break;
+          }
+        }
+        std::size_t pair_b = pair_a;
+        if (threshold == k) {
+          pair_b = k - 1;  // all-meet: everyone shares the vertex
+        } else {
+          for (std::size_t j = pair_a + 1; j < k; ++j) {
+            if (pos_[j] == pos_[pair_a]) {
+              pair_b = j;
+              break;
+            }
+          }
+        }
+        result.meeting_agent_a = pair_a;
+        result.meeting_agent_b = pair_b;
+      }
+    } else {
+      met_now = gathered_threshold(pos_.data(), k, threshold,
+                                   result.meeting_agent_a,
+                                   result.meeting_agent_b);
+    }
+    if (met_now) {
       result.met = true;
       result.meeting_round = round;
       result.meeting_vertex = pos_[result.meeting_agent_a];
+      result.gathered_count = count_at(pos_, result.meeting_vertex);
       break;
     }
     if (round == max_rounds) break;  // budget exhausted without gathering
@@ -236,7 +332,7 @@ ScenarioRunResult Scheduler::run_scenario(const std::vector<Agent*>& agents,
           run_agents_[i] = fresh;
           needs_revive_[i] = 0;
           local_base_[i] = round;
-          arrival_port_[i].reset();
+          arrival_port_[i] = kNoArrival;
           ++faults_->stats.restarts;
         }
         if (faults_->reach(fault::Site::AgentCrash)) {
@@ -279,7 +375,7 @@ ScenarioRunResult Scheduler::run_scenario(const std::vector<Agent*>& agents,
     for (std::size_t i = 0; i < k; ++i) {
       const std::size_t port = actions_[i].move_port;
       if (port == Action::kStay) {
-        arrival_port_[i].reset();
+        arrival_port_[i] = kNoArrival;
         continue;
       }
       const graph::VertexIndex from = pos_[i];
@@ -289,13 +385,27 @@ ScenarioRunResult Scheduler::run_scenario(const std::vector<Agent*>& agents,
         // churn: the traversal fails and the agent holds position, exactly
         // like a stay (it knows it did not move — the arrival port clears).
         ++faults_->stats.moves_blocked;
-        arrival_port_[i].reset();
+        arrival_port_[i] = kNoArrival;
         continue;
       }
       pos_[i] = to;
-      arrival_port_[i] = graph_.port_to(to, from);
+      arrival_port_[i] = table_.rev[from][port];
       ++result.agents[i].moves;
+      if (occupancy) {
+        // Each move is two O(1) count updates; the threshold counter moves
+        // only on the exact crossing in either direction.
+        if (occ_[from]-- == threshold) --at_threshold_;
+        if (++occ_[to] == threshold) ++at_threshold_;
+      }
     }
+  }
+
+  if (occupancy) {
+    // Clean unseed: k decrements restore all-zero counts without touching
+    // the other n - k entries, keeping round-loop cost independent of n.
+    for (std::size_t i = 0; i < k; ++i) --occ_[pos_[i]];
+    at_threshold_ = 0;
+    occ_dirty_ = false;
   }
 
   result.whiteboard_reads = boards_.reads() - wb_reads0;
@@ -315,7 +425,7 @@ RunResult Scheduler::run_single(Agent& agent, graph::VertexIndex start,
 
   RunResult result;
   graph::VertexIndex pos = start;
-  std::optional<std::size_t> arrival_port;
+  std::uint32_t arrival_port = kNoArrival;
 
   const std::uint64_t wb_reads0 = boards_.reads();
   const std::uint64_t wb_writes0 = boards_.writes();
@@ -335,11 +445,11 @@ RunResult Scheduler::run_single(Agent& agent, graph::VertexIndex start,
       boards_.write(pos, *action.whiteboard_write);
     }
     if (action.move_port == Action::kStay) {
-      arrival_port.reset();
+      arrival_port = kNoArrival;
     } else {
       const graph::VertexIndex from = pos;
       pos = graph_.neighbor_at_port(from, action.move_port);
-      arrival_port = graph_.port_to(pos, from);
+      arrival_port = table_.rev[from][action.move_port];
       ++result.metrics.moves[0];
     }
   }

@@ -19,14 +19,35 @@
 // scenario is exactly the paper's synchronous two-agent model, and
 // Scheduler::run is that projection.
 //
+// Determinism and tie-breaking: within one round every per-agent stage —
+// observation/step, whiteboard writes, movement — walks agents in index
+// order, so simultaneous actions resolve deterministically (e.g. two
+// co-located writers: the highest-indexed write wins). Wake delays shift
+// when an agent's program starts but not this order; in particular, k
+// agents sharing one identical wake delay d behave exactly like the
+// zero-delay run prefixed by d inert rounds (tests pin this).
+//
 // Performance: a Scheduler is a reusable arena. All per-run scratch —
-// positions, arrival ports, staged actions, per-agent Views with their
-// neighbor-ID caches, the whiteboard store — lives in the Scheduler and is
-// reset (not reallocated) at the start of each run, so repeated trials on
-// one Scheduler perform zero heap allocation after the first (warm-up) run.
+// positions, arrival ports (a flat uint32 array with a no-port sentinel,
+// the batch kernel's SoA layout), staged actions, per-agent Views, the
+// per-vertex occupancy counts, the whiteboard store — lives in the
+// Scheduler and is reset (not reallocated) at the start of each run, so
+// repeated trials on one Scheduler perform zero heap allocation after the
+// first (warm-up) run. Views observe through one shared NeighborTable per
+// arena (same values and order as the per-View lazy cache it replaces) and
+// moves resolve arrival ports from the table's precomputed rev array.
 // Scheduler::run additionally takes a branch-light two-agent fast path with
-// no per-run vectors at all. tests/test_alloc_guard.cpp enforces both
-// invariants; docs/PERFORMANCE.md documents them.
+// no per-run vectors at all. tests/test_alloc_guard.cpp enforces these
+// invariants; docs/PERFORMANCE.md and docs/ARCHITECTURE.md document them.
+//
+// Meeting detection: every gathering predicate is a per-vertex co-location
+// threshold (Gathering::threshold), and run_scenario can evaluate it two
+// ways. The pairwise oracle scans positions in O(k^2) per round; the
+// occupancy path maintains per-vertex agent counts plus a count of vertices
+// at/above the threshold incrementally, so a round boundary costs O(1) and
+// each move O(1) — the massive-k path. Both report byte-identical results
+// (meeting round/vertex/pair and all metrics); tests/test_swarm_differential
+// enforces that, mirroring the batch kernel's scalar-oracle contract.
 #pragma once
 
 #include <cstdint>
@@ -37,11 +58,24 @@
 #include "graph/graph.hpp"
 #include "sim/metrics.hpp"
 #include "sim/model.hpp"
+#include "sim/neighbor_table.hpp"
 #include "sim/view.hpp"
 #include "sim/whiteboard.hpp"
 #include "util/rng.hpp"
 
 namespace fnr::sim {
+
+/// How Scheduler::run_scenario evaluates the gathering predicate. The two
+/// concrete modes are byte-identical in every observable; Auto picks
+/// occupancy above a small-k cutover where the O(k^2) scan starts to lose.
+enum class MeetingDetection {
+  Auto,       ///< pairwise at small k, occupancy above the cutover
+  Pairwise,   ///< O(k^2)-per-round position scan (the oracle)
+  Occupancy,  ///< incremental per-vertex counts, O(moves) per round
+};
+
+/// The agent count above which Auto switches to occupancy counting.
+inline constexpr std::size_t kOccupancyAutoCutover = 8;
 
 /// Initial placement of the two agents.
 struct Placement {
@@ -116,27 +150,63 @@ class Scheduler {
     faults_ = session;
   }
 
+  /// Selects the meeting-detection mode of subsequent run_scenario calls
+  /// (default Auto). The modes are byte-identical in every observable —
+  /// this is a throughput lever and a differential-test hook, never a
+  /// semantic switch.
+  void set_meeting_detection(MeetingDetection detection) noexcept {
+    detection_ = detection;
+  }
+
+  /// Test hook: when enabled, occupancy-mode rounds re-derive the counts
+  /// from scratch at every round boundary and CheckError on any divergence
+  /// (counts summing to k, threshold counter consistent). O(n) per round —
+  /// never enable outside tests.
+  void set_occupancy_self_check(bool enabled) noexcept {
+    self_check_ = enabled;
+  }
+
  private:
+  /// Sentinel in arrival_port_ / the fast-path arrays: no arrival port
+  /// (start vertex, stay, or blocked move). Same encoding as the batch
+  /// kernel's kNoPort.
+  static constexpr std::uint32_t kNoArrival = 0xFFFFFFFFu;
+
   /// Grows the per-agent arena to `k` slots and resets the per-run state
   /// (positions untouched — callers seed them). Allocates only when `k`
   /// exceeds every previous run's agent count.
   void ensure_arena(std::size_t k);
 
   /// Points views_[agent] at (here, local_round, arrival) for this round.
-  /// The view's graph/model bindings and neighbor cache persist.
+  /// The view's graph/model bindings persist.
   void aim_view(std::size_t agent, AgentName name, std::uint64_t local_round,
-                graph::VertexIndex here, std::optional<std::size_t> arrival);
+                graph::VertexIndex here, std::uint32_t arrival);
+
+  /// Whether run_scenario with `k` agents uses occupancy counting.
+  [[nodiscard]] bool use_occupancy(std::size_t k) const noexcept {
+    return detection_ == MeetingDetection::Occupancy ||
+           (detection_ == MeetingDetection::Auto && k > kOccupancyAutoCutover);
+  }
+
+  /// O(n + k) recount of occ_ / at_threshold_ against pos_ (self-check).
+  void verify_occupancy(std::size_t k, std::uint64_t threshold) const;
 
   const graph::Graph& graph_;
   Model model_;
   Whiteboards boards_;
+  // Shared per-graph observation table (neighbor IDs, precomputed arrival
+  // ports): every View answers from it, and moves look arrival ports up in
+  // rev instead of a per-move binary search.
+  NeighborTable table_;
   fault::FaultSession* faults_ = nullptr;  // non-owning; null = reliable
+  MeetingDetection detection_ = MeetingDetection::Auto;
+  bool self_check_ = false;
 
   // --- per-run arena (reused across runs; zero-allocation after warm-up) ---
   std::vector<graph::VertexIndex> pos_;
-  std::vector<std::optional<std::size_t>> arrival_port_;
+  std::vector<std::uint32_t> arrival_port_;  // kNoArrival = none
   std::vector<Action> actions_;
-  std::vector<View> views_;  // one per agent slot, caches persist
+  std::vector<View> views_;  // one per agent slot
   // Fault bookkeeping, sized with the arena so faulty runs stay
   // allocation-free too: the live instance per slot (crash revival swaps
   // pointers), the round each slot acts again (wake delay, then crash
@@ -145,6 +215,15 @@ class Scheduler {
   std::vector<std::uint64_t> wake_at_;
   std::vector<std::uint64_t> local_base_;
   std::vector<char> needs_revive_;
+  // Occupancy-detection state: occ_[v] = agents standing on v (zero
+  // between runs — a clean exit unseeds its k increments, so the array
+  // never needs an O(n) clear on the hot path; occ_dirty_ flags a run that
+  // threw mid-flight and forces the fill on the next occupancy run), and
+  // at_threshold_ = vertices currently holding >= threshold agents
+  // (gathered <=> at_threshold_ > 0).
+  std::vector<std::uint32_t> occ_;
+  std::uint64_t at_threshold_ = 0;
+  bool occ_dirty_ = false;
 };
 
 /// Per-worker scheduler cache: hands out a Scheduler arena for a

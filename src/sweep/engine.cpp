@@ -180,7 +180,10 @@ CellResult execute_cell(const SweepCell& cell, GraphCache& cache,
   const auto start = std::chrono::steady_clock::now();
   try {
     const graph::Graph& g = cache.get(cell);
-    const scenario::Scenario& scen = scenario::find_scenario(cell.scenario);
+    scenario::Scenario scen = scenario::find_scenario(cell.scenario);
+    // Gather-axis cells run the registered scenario with the predicate
+    // swapped (expand() already pruned overrides the scenario cannot host).
+    if (cell.gather.has_value()) scen.gathering = *cell.gather;
     scenario::ScenarioOptions options;
     options.seed = cell.seed;
     options.fault = cell.fault;
@@ -366,6 +369,8 @@ runner::TrialAggregate parse_agg_json(const std::string& json) {
                                       << stat << "'");
       }
       cursor.expect('}');
+    } else if (field == "mean_gathered") {
+      agg.mean_gathered = cursor.parse_number();
     } else if (field == "total_marks") {
       agg.total_marks = cursor.parse_uint64();
     } else if (field == "mean_marks") {
@@ -437,6 +442,9 @@ std::string to_json(const SweepSpec& spec,
        << json_safe(r.cell.topology.key()) << "\",\"n\":" << r.cell.n
        << ",\"achieved_n\":" << r.cell.achieved_n
        << ",\"seed\":" << r.cell.seed << ",\"trials\":" << r.cell.trials;
+    if (r.cell.gather.has_value())
+      os << ",\"gather\":\"" << json_safe(sim::to_string(*r.cell.gather))
+         << "\"";
     if (r.cell.fault.active())
       os << ",\"fault\":\"" << json_safe(r.cell.fault.key()) << "\"";
     os << ",\"ok\":" << (r.ok ? "true" : "false");

@@ -271,6 +271,7 @@ std::string SweepCell::key() const {
   os << scenario::to_string(program) << "|" << scenario << "|"
      << topology.key() << "|n=" << n << "|seed=" << seed
      << "|trials=" << trials;
+  if (gather.has_value()) os << "|gather=" << sim::to_string(*gather);
   if (fault.active()) os << "|fault=" << fault.key();
   return os.str();
 }
@@ -283,53 +284,97 @@ std::string SweepCell::graph_key() const {
 
 std::vector<SweepCell> expand(const SweepSpec& spec) {
   spec.validate();
-  // No `faults` axis ⇒ one inactive plan: the grid (keys and indices)
-  // matches specs written before the axis existed.
+  // No `faults` axis ⇒ one inactive plan, no `gathers` axis ⇒ one
+  // no-override slot: the grid (keys and indices) matches specs written
+  // before either axis existed.
   static const std::vector<fault::FaultPlan> kFaultFree(1);
+  static const std::vector<std::optional<sim::Gathering>> kNoOverride(1);
   const auto& fault_axis = spec.faults.empty() ? kFaultFree : spec.faults;
+  std::vector<std::optional<sim::Gathering>> gather_axis;
+  if (spec.gathers.empty()) {
+    gather_axis = kNoOverride;
+  } else {
+    gather_axis.reserve(spec.gathers.size());
+    for (const auto& gather : spec.gathers) gather_axis.emplace_back(gather);
+  }
   std::vector<SweepCell> cells;
   cells.reserve(spec.programs.size() * spec.scenarios.size() *
-                spec.topologies.size() * spec.sizes.size() *
-                spec.seeds.size() * fault_axis.size());
+                gather_axis.size() * spec.topologies.size() *
+                spec.sizes.size() * spec.seeds.size() * fault_axis.size());
   for (const auto& program : spec.programs)
-    for (const auto& scenario_name : spec.scenarios) {
-      // Capability pruning: a mismatched (program, scenario) pair — or a
-      // complete-graph-only program on another family — expands to no
-      // cells, replacing the benches' old hand-maintained exclusion lists.
-      if (!scenario::compatible(program,
-                                scenario::find_scenario(scenario_name)))
-        continue;
-      for (const auto& topology : spec.topologies) {
-        if (program.def().caps.needs_complete_graph &&
-            topology.family != "complete")
-          continue;
-        for (const auto n : spec.sizes)
-          for (const auto seed : spec.seeds)
-            for (const auto& plan : fault_axis) {
-              // A plan that only perturbs whiteboards cannot touch a
-              // whiteboard-free model; skip the vacuous cell.
-              if (plan.active() && plan.whiteboard_only() &&
-                  !program.def().model.whiteboards)
-                continue;
-              SweepCell cell;
-              cell.index = cells.size();
-              cell.program = program;
-              cell.scenario = scenario_name;
-              cell.topology = topology;
-              cell.n = n;
-              cell.achieved_n = topology.achieved_n(n);
-              cell.seed = seed;
-              cell.trials = spec.trials;
-              cell.fault = plan;
-              cells.push_back(std::move(cell));
-            }
+    for (const auto& scenario_name : spec.scenarios)
+      for (const auto& gather : gather_axis) {
+        // Capability pruning: a mismatched (program, scenario) pair — or a
+        // complete-graph-only program on another family — expands to no
+        // cells, replacing the benches' old hand-maintained exclusion
+        // lists. A gather override is judged on the overridden scenario:
+        // an unreachable quorum (q > k) or a threshold above 2 on a
+        // rally-free program prunes the same way.
+        scenario::Scenario scen = scenario::find_scenario(scenario_name);
+        if (gather.has_value()) {
+          if (gather->kind == sim::Gathering::Quorum &&
+              gather->quorum > scen.num_agents)
+            continue;
+          scen.gathering = *gather;
+        }
+        if (!scenario::compatible(program, scen)) continue;
+        for (const auto& topology : spec.topologies) {
+          if (program.def().caps.needs_complete_graph &&
+              topology.family != "complete")
+            continue;
+          for (const auto n : spec.sizes)
+            for (const auto seed : spec.seeds)
+              for (const auto& plan : fault_axis) {
+                // A plan that only perturbs whiteboards cannot touch a
+                // whiteboard-free model; skip the vacuous cell.
+                if (plan.active() && plan.whiteboard_only() &&
+                    !program.def().model.whiteboards)
+                  continue;
+                SweepCell cell;
+                cell.index = cells.size();
+                cell.program = program;
+                cell.scenario = scenario_name;
+                cell.topology = topology;
+                cell.n = n;
+                cell.achieved_n = topology.achieved_n(n);
+                cell.seed = seed;
+                cell.trials = spec.trials;
+                cell.gather = gather;
+                cell.fault = plan;
+                cells.push_back(std::move(cell));
+              }
+        }
       }
-    }
   FNR_CHECK_MSG(!cells.empty(),
                 "sweep spec '" << spec.name
                                << "': capability masks leave no compatible "
                                   "(program, scenario, topology) cells");
   return cells;
+}
+
+sim::Gathering parse_gather(const std::string& token) {
+  if (token == "any-pair") return sim::Gathering::AnyPair;
+  if (token == "all-meet") return sim::Gathering::All;
+  if (const std::string prefix = "quorum?q="; token.rfind(prefix, 0) == 0) {
+    const std::uint64_t q =
+        parse_uint64(token.substr(prefix.size()), "gather quorum 'q'");
+    FNR_CHECK_MSG(q >= 2, "gather token '" << token
+                                           << "': a quorum needs q >= 2");
+    return sim::Gathering::quorum_of(q);
+  }
+  if (const std::string prefix = "fraction?f="; token.rfind(prefix, 0) == 0) {
+    const double f = parse_finite_double(token.substr(prefix.size()),
+                                         "gather fraction 'f'");
+    FNR_CHECK_MSG(f > 0.0 && f <= 1.0,
+                  "gather token '" << token
+                                   << "': fraction must be in (0, 1]");
+    return sim::Gathering::fraction_of(f);
+  }
+  FNR_CHECK_MSG(false, "unknown gather token '"
+                           << token
+                           << "'; expected any-pair, all-meet, "
+                              "quorum?q=<count>, or fraction?f=<share>");
+  throw std::logic_error("unreachable");
 }
 
 SweepSpec parse_spec(const std::string& text) {
@@ -396,6 +441,15 @@ SweepSpec parse_spec(const std::string& text) {
     } else if (key == "seeds") {
       for (const auto& token : split(value, ','))
         spec.seeds.push_back(parse_uint64(token, "sweep spec 'seeds'"));
+    } else if (key == "gathers") {
+      for (const auto& token : split(value, ',')) {
+        try {
+          spec.gathers.push_back(parse_gather(token));
+        } catch (const CheckError& error) {
+          throw CheckError("sweep spec line " + std::to_string(line_no) +
+                           ": " + error.what());
+        }
+      }
     } else if (key == "faults") {
       for (const auto& token : split(value, ',')) {
         try {

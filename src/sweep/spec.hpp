@@ -18,6 +18,7 @@
 //   topologies = near-regular:deg=16, torus, hypercube
 //   sizes      = 1024, 16384, 131072     # requested n per topology
 //   seeds      = 1, 2                    # seed block (one grid axis each)
+//   gathers    = any-pair, quorum?q=3    # optional gathering-predicate axis
 //   faults     = none, crash?rate=0.01   # optional fault-plan axis
 //
 // A fault token is a fault::FaultPlan clause list (`none`, or
@@ -26,6 +27,16 @@
 // inactive plan, so existing specs expand to exactly the grid they always
 // did; `none` cells keep their pre-fault keys and the fault axis nests
 // innermost, preserving fault-free indices.
+//
+// A gather token is `any-pair`, `all-meet`, `quorum?q=<count>`, or
+// `fraction?f=<share>` (the canonical to_string forms). The axis overrides
+// the gathering predicate of every scenario in the grid; cells whose
+// override is incompatible with the (program, scenario) pair — a quorum
+// larger than the scenario's k, or a threshold above 2 on a program without
+// rally coordination — are pruned like any other capability mismatch. The
+// axis is optional; when absent, scenarios keep their registered predicate
+// and cell keys are byte-identical to specs written before the axis
+// existed (`|gather=...` appears in the key only for override cells).
 //
 // A topology token is `family` or `family:param=value:param=value`. A
 // program token is a registry label, optionally parameterized with a
@@ -50,9 +61,12 @@
 #include <string>
 #include <vector>
 
+#include <optional>
+
 #include "fault/fault.hpp"
 #include "graph/graph.hpp"
 #include "scenario/program_registry.hpp"
+#include "sim/model.hpp"
 
 namespace fnr::sweep {
 
@@ -103,6 +117,10 @@ struct SweepSpec {
   std::vector<TopologySpec> topologies;
   std::vector<std::uint64_t> sizes;  ///< requested n values, each <= 2^20
   std::vector<std::uint64_t> seeds;  ///< seed block; one grid axis entry each
+  /// Gathering-predicate axis. Empty ⇒ no override (each scenario keeps
+  /// its registered predicate and the grid is byte-identical to specs
+  /// written before the axis existed).
+  std::vector<sim::Gathering> gathers;
   /// Fault-plan axis. Empty ⇒ the single inactive plan (fault-free grid,
   /// byte-identical to specs written before the axis existed).
   std::vector<fault::FaultPlan> faults;
@@ -122,13 +140,16 @@ struct SweepCell {
   std::uint64_t achieved_n = 0;  ///< family-resolved vertex count
   std::uint64_t seed = 0;
   std::uint64_t trials = 0;
+  /// Gathering override from the `gathers` axis (absent on axis-free
+  /// specs: the scenario's registered predicate applies).
+  std::optional<sim::Gathering> gather;
   fault::FaultPlan fault;  ///< inactive on fault-free cells
 
   /// Canonical cell identity: completed cells are skipped by this key on
   /// resume, so it must never depend on runtime options (threads, shard).
-  /// Active-fault cells append `|fault=<plan key>`; inactive cells keep
-  /// the exact key they had before the fault axis existed, so old
-  /// checkpoints still resume.
+  /// Override cells append `|gather=<predicate>` and active-fault cells
+  /// `|fault=<plan key>`; plain cells keep the exact key they had before
+  /// either axis existed, so old checkpoints still resume.
   [[nodiscard]] std::string key() const;
 
   /// Graph-cache key: (family, params, n, seed). Cells that share a key
@@ -137,8 +158,13 @@ struct SweepCell {
   [[nodiscard]] std::string graph_key() const;
 };
 
+/// Parses a gather token: `any-pair`, `all-meet`, `quorum?q=<count>`, or
+/// `fraction?f=<share>` (the canonical to_string(Gathering) forms).
+/// Throws CheckError on anything else (q < 2, f outside (0, 1], ...).
+[[nodiscard]] sim::Gathering parse_gather(const std::string& token);
+
 /// Expands the spec into its canonical cell grid. Axis nesting, outermost
-/// first: program, scenario, topology, size, seed, fault. Incompatible
+/// first: program, scenario, gather, topology, size, seed, fault. Incompatible
 /// (program, scenario) pairs, complete-graph-only programs off the
 /// `complete` family, and whiteboard-only fault plans on whiteboard-free
 /// models are skipped (see the file header); indices stay dense over the

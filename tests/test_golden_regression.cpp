@@ -154,5 +154,95 @@ TEST(GoldenRegression, SyncPairScenarioReproducesPreChangeTraces) {
   }
 }
 
+// --- swarm gathering goldens ------------------------------------------------
+
+/// Per-trial swarm trace: did trial t meet, at which round, with how many
+/// agents co-located on the meeting vertex.
+struct GoldenSwarmTrial {
+  bool met;
+  std::uint64_t meeting_round;
+  std::uint64_t gathered_count;
+};
+
+struct GoldenSwarmCell {
+  sim::Gathering gathering;
+  std::uint64_t successes;
+  double rounds_mean;
+  double rounds_min;
+  double rounds_max;
+  double rounds_stddev;
+  double mean_gathered;
+  double mean_moves_a;
+  double mean_moves_b;
+  GoldenSwarmTrial trials[12];
+};
+
+// Captured 2026-08-08 from the build that introduced quorum/fraction
+// gathering: explore-rally, k = 6 dropped anywhere on golden_graph(), zero
+// delay, seed 77, 12 trials, printed with %.17g. Quorum(3) and
+// Fraction(0.5) resolve to the same threshold at k = 6, so their rows are
+// deliberately identical — divergence means threshold() broke, not that one
+// row is redundant. The All row pins the same trials under the strictest
+// predicate (and is where the per-trial rounds actually spread out).
+const GoldenSwarmCell kGoldenSwarmCells[] = {
+    {sim::Gathering::quorum_of(3), 12, 1.0833333333333333, 1.0, 2.0,
+     0.28867513459481287, 3.6666666666666665, 1.0833333333333333,
+     5.416666666666667,
+     {{true, 2, 3}, {true, 1, 4}, {true, 1, 4}, {true, 1, 3}, {true, 1, 4},
+      {true, 1, 4}, {true, 1, 3}, {true, 1, 4}, {true, 1, 4}, {true, 1, 3},
+      {true, 1, 3}, {true, 1, 5}}},
+    {sim::Gathering::fraction_of(0.5), 12, 1.0833333333333333, 1.0, 2.0,
+     0.28867513459481287, 3.6666666666666665, 1.0833333333333333,
+     5.416666666666667,
+     {{true, 2, 3}, {true, 1, 4}, {true, 1, 4}, {true, 1, 3}, {true, 1, 4},
+      {true, 1, 4}, {true, 1, 3}, {true, 1, 4}, {true, 1, 4}, {true, 1, 3},
+      {true, 1, 3}, {true, 1, 5}}},
+    {sim::Gathering::All, 12, 40.083333333333336, 2.0, 256.0,
+     70.309004121848147, 6.0, 40.0, 200.16666666666666,
+     {{true, 15, 6}, {true, 15, 6}, {true, 15, 6}, {true, 15, 6},
+      {true, 2, 6}, {true, 74, 6}, {true, 29, 6}, {true, 256, 6},
+      {true, 15, 6}, {true, 15, 6}, {true, 15, 6}, {true, 15, 6}}},
+};
+
+TEST(GoldenRegression, QuorumAndFractionGatheringOnFixedSeeds) {
+  const auto g = golden_graph();
+  const auto program = scenario::find_program("explore-rally");
+  scenario::Scenario scen;
+  scen.name = "golden-swarm";
+  scen.summary = "golden swarm cell";
+  scen.num_agents = 6;
+  scen.placement = scenario::PlacementModel::RandomDistinct;
+  scen.delay = scenario::DelayModel::None;
+  for (const auto& golden : kGoldenSwarmCells) {
+    SCOPED_TRACE(sim::to_string(golden.gathering));
+    scen.gathering = golden.gathering;
+    scenario::ScenarioOptions options;
+    options.seed = 77;
+    const runner::TrialRunner trial_runner(runner::RunnerOptions{1});
+    const auto acc = scenario::run_scenario_trials(scen, program, g, options,
+                                                   12, trial_runner);
+    const auto agg = acc.aggregate();
+    EXPECT_EQ(agg.trials, 12u);
+    EXPECT_EQ(agg.successes, golden.successes);
+    EXPECT_DOUBLE_EQ(agg.rounds.mean, golden.rounds_mean);
+    EXPECT_DOUBLE_EQ(agg.rounds.min, golden.rounds_min);
+    EXPECT_DOUBLE_EQ(agg.rounds.max, golden.rounds_max);
+    EXPECT_DOUBLE_EQ(agg.rounds.stddev, golden.rounds_stddev);
+    EXPECT_DOUBLE_EQ(agg.mean_gathered, golden.mean_gathered);
+    EXPECT_DOUBLE_EQ(agg.mean_moves_a, golden.mean_moves_a);
+    EXPECT_DOUBLE_EQ(agg.mean_moves_b, golden.mean_moves_b);
+    EXPECT_EQ(agg.total_marks, 0u);  // GatherAtMin writes no whiteboards
+    const auto outcomes = acc.sorted_outcomes();
+    ASSERT_EQ(outcomes.size(), std::size(golden.trials));
+    for (std::size_t t = 0; t < outcomes.size(); ++t) {
+      EXPECT_EQ(outcomes[t].met, golden.trials[t].met) << "trial " << t;
+      EXPECT_EQ(outcomes[t].meeting_round, golden.trials[t].meeting_round)
+          << "trial " << t;
+      EXPECT_EQ(outcomes[t].gathered_count, golden.trials[t].gathered_count)
+          << "trial " << t;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace fnr

@@ -28,9 +28,12 @@ TEST(PerfSuite, CellSpecsAreDeterministicAndStrategyMajor) {
   EXPECT_EQ(first, second);
   ASSERT_FALSE(first.empty());
   // Strategy-major sweep: every topology of one strategy precedes the next
-  // strategy (the canonical BENCH_perf.json ordering).
+  // strategy (the canonical BENCH_perf.json ordering). Swarm cells trail
+  // the strategy sweep and are the only cells with a scenario label.
   EXPECT_EQ(first.front().strategy, "whiteboard");
-  EXPECT_EQ(first.back().strategy, "no-whiteboard");
+  EXPECT_TRUE(first.front().scenario.empty());
+  EXPECT_EQ(first.back().strategy, "explore-rally");
+  EXPECT_EQ(first.back().scenario, "swarm-quorum-k16");
   for (const auto& spec : first) {
     EXPECT_GT(spec.n, 0u);
     EXPECT_EQ(spec.trials, 2u);
@@ -44,6 +47,7 @@ TEST(PerfSuite, ReportCellsMatchSpecOrder) {
   ASSERT_EQ(report.cells.size(), specs.size());
   for (std::size_t i = 0; i < specs.size(); ++i) {
     EXPECT_EQ(report.cells[i].strategy, specs[i].strategy);
+    EXPECT_EQ(report.cells[i].scenario, specs[i].scenario);
     EXPECT_EQ(report.cells[i].topology, specs[i].topology);
     EXPECT_EQ(report.cells[i].n, specs[i].n);
     EXPECT_EQ(report.cells[i].trials, specs[i].trials);
@@ -76,6 +80,7 @@ TEST(PerfSuite, JsonRoundTripsExactly) {
   ASSERT_EQ(parsed.cells.size(), report.cells.size());
   for (std::size_t i = 0; i < report.cells.size(); ++i) {
     EXPECT_EQ(parsed.cells[i].strategy, report.cells[i].strategy);
+    EXPECT_EQ(parsed.cells[i].scenario, report.cells[i].scenario);
     EXPECT_EQ(parsed.cells[i].total_rounds, report.cells[i].total_rounds);
   }
   // The round-tripped report still satisfies the schema validator.
@@ -214,6 +219,10 @@ TEST(PerfSuite, GateRejectsIdentityAndWorkloadDrift) {
   auto renamed = base;
   renamed.cells[0].topology = "other-topology";
   EXPECT_FALSE(perf::gate_against_baseline(base, renamed, 0.30).ok());
+  auto swarm_renamed = base;
+  ASSERT_EQ(swarm_renamed.cells.back().scenario, "swarm-quorum-k16");
+  swarm_renamed.cells.back().scenario = "other-swarm";
+  EXPECT_FALSE(perf::gate_against_baseline(base, swarm_renamed, 0.30).ok());
   auto drifted = base;
   drifted.cells[0].total_rounds += 1;
   EXPECT_FALSE(perf::gate_against_baseline(base, drifted, 0.30).ok());

@@ -138,6 +138,55 @@ TEST(ScenarioEngine, DelayedAgentsRunOnTheirLocalClock) {
   EXPECT_EQ(b.last_round_, 12u);  // 20 global rounds - 7 asleep - 1
 }
 
+/// Deterministic seeded walker: one uniform step per round.
+class SeededWalkerAgent final : public sim::Agent {
+ public:
+  explicit SeededWalkerAgent(std::uint64_t seed) noexcept : rng_(seed, 21) {}
+  sim::Action step(const sim::View& view) override {
+    return sim::Action::move(
+        static_cast<std::size_t>(rng_.below(view.degree())));
+  }
+
+ private:
+  Rng rng_;
+};
+
+TEST(ScenarioEngine, UniformWakeDelayIsAPureTimeShift) {
+  // The scheduler header's tie-break contract: k agents sharing one
+  // identical wake delay d behave exactly like the zero-delay run prefixed
+  // by d inert rounds. Every observable must shift by exactly d — meeting
+  // round included — with the meeting vertex, pair, gathered count, and
+  // per-agent move totals untouched.
+  const auto g = test::dense_graph(48, 9, 6);
+  sim::Scheduler scheduler(g, sim::Model::full());
+  constexpr std::uint64_t kDelay = 13;
+  constexpr std::uint64_t kCap = 256;
+
+  const auto run_with_delay = [&](std::uint64_t delay, std::uint64_t cap) {
+    SeededWalkerAgent a(101), b(202), c(303);
+    sim::ScenarioPlacement placement;
+    placement.starts = {0, 17, 33};
+    if (delay > 0) placement.wake_delays.assign(3, delay);
+    return scheduler.run_scenario({&a, &b, &c}, placement,
+                                  sim::Gathering::quorum_of(2), cap);
+  };
+
+  const auto base = run_with_delay(0, kCap);
+  const auto shifted = run_with_delay(kDelay, kCap + kDelay);
+  ASSERT_TRUE(base.met);  // three walkers on 48 vertices meet fast
+  ASSERT_TRUE(shifted.met);
+  EXPECT_EQ(shifted.meeting_round, base.meeting_round + kDelay);
+  EXPECT_EQ(shifted.meeting_vertex, base.meeting_vertex);
+  EXPECT_EQ(shifted.meeting_agent_a, base.meeting_agent_a);
+  EXPECT_EQ(shifted.meeting_agent_b, base.meeting_agent_b);
+  EXPECT_EQ(shifted.gathered_count, base.gathered_count);
+  ASSERT_EQ(shifted.agents.size(), base.agents.size());
+  for (std::size_t i = 0; i < base.agents.size(); ++i) {
+    EXPECT_EQ(shifted.agents[i].wake_delay, kDelay);
+    EXPECT_EQ(shifted.agents[i].moves, base.agents[i].moves) << "agent " << i;
+  }
+}
+
 TEST(ScenarioEngine, AllMeetIsStricterThanAnyPair) {
   // Three waiters, two of them adjacent and one pacing between: with the
   // static trio 0/1/2 on a path, agents 0 and 1 co-locate when 0 paces onto

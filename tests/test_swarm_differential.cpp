@@ -1,0 +1,160 @@
+// Differential battery for the swarm meeting engine: occupancy-count
+// detection must be byte-identical to the pairwise oracle — per-trial
+// outcomes AND merged aggregates — for every builtin scenario at
+// k ∈ {2, 3, 5, 17}, on 1 and 4 runner threads, and on fault-active cells.
+// The pairwise scan is the reference implementation the paper's semantics
+// are written against; occupancy counting is the O(moves) production path
+// above the Auto cutover, so any divergence here is a correctness bug, not
+// noise.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "runner/trial_runner.hpp"
+#include "scenario/program_registry.hpp"
+#include "scenario/run.hpp"
+#include "scenario/scenario.hpp"
+#include "sim/scheduler.hpp"
+#include "test_support.hpp"
+#include "util/check.hpp"
+
+namespace fnr {
+namespace {
+
+bool outcomes_equal(const runner::TrialOutcome& x,
+                    const runner::TrialOutcome& y) {
+  return x.trial == y.trial && x.seed == y.seed && x.met == y.met &&
+         x.meeting_round == y.meeting_round &&
+         x.gathered_count == y.gathered_count && x.rounds == y.rounds &&
+         x.moves_a == y.moves_a && x.moves_b == y.moves_b &&
+         x.whiteboard_marks == y.whiteboard_marks &&
+         std::memcmp(&x.faults, &y.faults, sizeof x.faults) == 0;
+}
+
+/// Runs one (scenario, program) cell and returns the accumulator.
+runner::TrialAccumulator run_cell(const scenario::Scenario& scen,
+                                  const scenario::Program& program,
+                                  const graph::Graph& g,
+                                  sim::MeetingDetection detection,
+                                  unsigned threads,
+                                  const fault::FaultPlan& fault = {}) {
+  scenario::ScenarioOptions options;
+  options.seed = 4711;
+  options.detection = detection;
+  options.fault = fault;
+  const runner::TrialRunner trial_runner(runner::RunnerOptions{threads});
+  return scenario::run_scenario_trials(scen, program, g, options,
+                                       /*n_trials=*/3, trial_runner);
+}
+
+/// Asserts `cell` is byte-identical to the reference accumulator: same
+/// per-trial outcomes (field-for-field) and a bit-identical aggregate.
+void expect_identical(const runner::TrialAccumulator& reference,
+                      const runner::TrialAccumulator& cell,
+                      const std::string& label) {
+  const auto want = reference.sorted_outcomes();
+  const auto got = cell.sorted_outcomes();
+  ASSERT_EQ(want.size(), got.size()) << label;
+  for (std::size_t t = 0; t < want.size(); ++t) {
+    EXPECT_TRUE(outcomes_equal(want[t], got[t]))
+        << label << ": trial " << t << " diverged (met " << want[t].met
+        << " vs " << got[t].met << ", meeting_round "
+        << want[t].meeting_round << " vs " << got[t].meeting_round
+        << ", gathered " << want[t].gathered_count << " vs "
+        << got[t].gathered_count << ")";
+  }
+  EXPECT_TRUE(test::bits_equal(reference.aggregate(), cell.aggregate()))
+      << label << ": merged aggregates diverged";
+}
+
+/// First registry program the capability masks accept for `scen`; null
+/// handle never escapes (the registry always has a universally-compatible
+/// program — explore-rally supports every gathering predicate).
+scenario::Program program_for(const scenario::Scenario& scen) {
+  for (const auto& def : scenario::all_program_defs()) {
+    const auto program = scenario::find_program(def.label);
+    if (scenario::compatible(program, scen)) return program;
+  }
+  FNR_CHECK_MSG(false,
+                "no registered program is compatible with scenario '"
+                    << scen.name << "'");
+  throw std::logic_error("unreachable");
+}
+
+TEST(SwarmDifferential, OccupancyMatchesPairwiseForEveryBuiltinScenario) {
+  // Degree 20 so NeighborhoodCluster placements can host k = 17 (needs a
+  // closed neighborhood of size >= k).
+  const auto g = test::dense_graph(48, 12, 20);
+  std::size_t cells = 0;
+  for (const auto& builtin : scenario::all_scenarios()) {
+    for (const std::size_t k : {std::size_t{2}, std::size_t{3},
+                                std::size_t{5}, std::size_t{17}}) {
+      scenario::Scenario scen = builtin;
+      scen.num_agents = k;
+      try {
+        scen.validate();  // skips AdjacentPair at k != 2, quorum > k, ...
+      } catch (const CheckError&) {
+        continue;
+      }
+      const auto program = program_for(scen);
+      const auto reference =
+          run_cell(scen, program, g, sim::MeetingDetection::Pairwise, 1);
+      const std::string label = builtin.name + " k=" + std::to_string(k);
+      expect_identical(
+          reference,
+          run_cell(scen, program, g, sim::MeetingDetection::Occupancy, 1),
+          label + " occupancy/1t");
+      expect_identical(
+          reference,
+          run_cell(scen, program, g, sim::MeetingDetection::Occupancy, 4),
+          label + " occupancy/4t");
+      expect_identical(
+          reference,
+          run_cell(scen, program, g, sim::MeetingDetection::Pairwise, 4),
+          label + " pairwise/4t");
+      ++cells;
+    }
+  }
+  // The registry always exposes at least the pair scenarios at k = 2 and
+  // the swarm scenarios at overridden k; an empty sweep means the override
+  // loop rotted, not that there was nothing to test.
+  EXPECT_GE(cells, 8u);
+}
+
+TEST(SwarmDifferential, FaultActiveCellsStayBitExactAcrossDetectionModes) {
+  // Fault sites draw from the session RNG in round order; the detection
+  // mode must not perturb a single draw. crash exercises agent removal /
+  // revival (occupancy unseed + reseed), wb-drop exercises the whiteboard
+  // path, churn exercises permanent leave.
+  const auto g = test::dense_graph(48, 12, 20);
+  scenario::Scenario scen = scenario::find_scenario("swarm-quorum");
+  scen.num_agents = 5;
+  scen.gathering = sim::Gathering::quorum_of(3);
+  scen.validate();
+  const auto program = scenario::find_program("explore-rally");
+
+  for (const std::string plan_spec :
+       {"crash?rate=0.05&downtime=2", "wb-drop?rate=0.2",
+        "churn?rate=0.02"}) {
+    const auto plan = fault::FaultPlan::parse(plan_spec);
+    const auto reference = run_cell(scen, program, g,
+                                    sim::MeetingDetection::Pairwise, 1, plan);
+    // Faulted trials must still be doing work worth differencing: the plan
+    // parsed as active (rate-0 no-op plans are a different test's job).
+    ASSERT_TRUE(plan.active()) << plan_spec;
+    expect_identical(
+        reference,
+        run_cell(scen, program, g, sim::MeetingDetection::Occupancy, 1, plan),
+        plan_spec + " occupancy/1t");
+    expect_identical(
+        reference,
+        run_cell(scen, program, g, sim::MeetingDetection::Occupancy, 4, plan),
+        plan_spec + " occupancy/4t");
+  }
+}
+
+}  // namespace
+}  // namespace fnr

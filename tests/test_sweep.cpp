@@ -55,6 +55,43 @@ TEST(SweepSpec, ParsesAllAxes) {
   EXPECT_EQ(spec.seeds, std::vector<std::uint64_t>{1});
 }
 
+TEST(SweepSpec, GatherAxisParsesPrunesAndKeysCells) {
+  // The `gathers` axis crosses predicate overrides into the grid.
+  // swarm-gather has k = 5, so the unreachable quorum?q=9 column must
+  // prune (q > k expands to no cells), and every overridden cell's key
+  // must carry its gather token so checkpoints distinguish the columns.
+  const SweepSpec spec = parse_spec(
+      "name       = gather-axis\n"
+      "trials     = 1\n"
+      "programs   = explore-rally\n"
+      "scenarios  = swarm-gather\n"
+      "topologies = ring\n"
+      "sizes      = 16\n"
+      "seeds      = 1\n"
+      "gathers    = any-pair, quorum?q=3, quorum?q=9, fraction?f=0.5\n");
+  ASSERT_EQ(spec.gathers.size(), 4u);
+  const auto cells = expand(spec);
+  ASSERT_EQ(cells.size(), 3u);  // q=9 > k=5 pruned
+  std::set<std::string> keys;
+  for (const auto& cell : cells) {
+    ASSERT_TRUE(cell.gather.has_value());
+    EXPECT_NE(cell.key().find("|gather=" + sim::to_string(*cell.gather)),
+              std::string::npos)
+        << cell.key();
+    keys.insert(cell.key());
+  }
+  EXPECT_EQ(keys.size(), cells.size());  // overrides keep keys distinct
+
+  // Malformed gather tokens fail at parse time, naming the line.
+  const std::string head =
+      "name = g\ntrials = 1\nprograms = explore-rally\n"
+      "scenarios = swarm-gather\ntopologies = ring\nsizes = 16\nseeds = 1\n";
+  EXPECT_THROW((void)parse_spec(head + "gathers = quorum?q=1\n"), CheckError);
+  EXPECT_THROW((void)parse_spec(head + "gathers = rendezvous\n"), CheckError);
+  EXPECT_THROW((void)parse_spec(head + "gathers = fraction?f=1.5\n"),
+               CheckError);
+}
+
 TEST(SweepSpec, RejectsUnknownKeysProgramsAndFamilies) {
   EXPECT_THROW((void)parse_spec("bogus = 1"), CheckError);
   EXPECT_THROW((void)parse_spec("programs = quantum-walk\n"

@@ -120,6 +120,8 @@ TEST(TrialIoRoundtrip, CsvRowParsesBackToTheAggregate) {
         EXPECT_NEAR(value, agg.rounds.min, 5e-3);
       } else if (name == "rounds_max") {
         EXPECT_NEAR(value, agg.rounds.max, 5e-3);
+      } else if (name == "mean_gathered") {
+        EXPECT_NEAR(value, agg.mean_gathered, 5e-3);
       } else if (name == "total_marks") {
         EXPECT_EQ(value, static_cast<double>(agg.total_marks));
       } else if (name == "mean_marks") {
@@ -195,6 +197,7 @@ TEST(TrialIoRoundtrip, JsonParsesBackToTheAggregate) {
     EXPECT_NEAR(json_number(json, "max"), agg.rounds.max, 5e-3);
     EXPECT_EQ(json_number(json, "total_marks"),
               static_cast<double>(agg.total_marks));
+    EXPECT_NEAR(json_number(json, "mean_gathered"), agg.mean_gathered, 5e-3);
     EXPECT_NEAR(json_number(json, "mean_marks"), agg.mean_marks, 5e-3);
     EXPECT_NEAR(json_number(json, "mean_moves_a"), agg.mean_moves_a, 5e-3);
     EXPECT_NEAR(json_number(json, "mean_moves_b"), agg.mean_moves_b, 5e-3);
