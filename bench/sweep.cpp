@@ -1,7 +1,13 @@
 // Sweep-campaign driver: expands a declarative multi-axis spec into a
-// deterministic cell grid and runs it — sharded, checkpointed, resumable
-// (see src/sweep/engine.hpp for the determinism contract and
-// docs/PERFORMANCE.md for the spec format).
+// deterministic cell grid and runs it — sharded, checkpointed, resumable.
+// A thin client of the campaign core (src/campaign/campaign.hpp — see it
+// for the determinism contract; docs/PERFORMANCE.md has the spec format):
+// the same Campaign object the fnrd daemon serves, driven batch-style.
+//
+// SIGINT/SIGTERM cancel the campaign at the next cell boundary: the
+// in-flight cell finishes, its checkpoint line is flushed, and the process
+// exits with 128+signal after printing the resume command — nothing is
+// ever torn mid-write by an interactive ^C.
 //
 // Flags:
 //   --spec=NAME|PATH   predefined spec name (see --list) or spec-file path
@@ -29,6 +35,8 @@
 //                      either way (faulty cells always run scalar)
 //   --csv / --json     also print the report to stdout
 //   --quiet            suppress per-cell progress lines
+#include <atomic>
+#include <csignal>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -38,12 +46,25 @@
 #include <vector>
 
 #include "bench_support.hpp"
+#include "campaign/campaign.hpp"
 #include "sweep/engine.hpp"
 #include "util/check.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
 namespace {
+
+// Signal handling: the handler only forwards to Campaign::cancel (one
+// relaxed atomic store — async-signal-safe) and records which signal
+// fired; all reporting happens on the main thread after run() returns.
+std::atomic<fnr::campaign::Campaign*> g_active{nullptr};
+volatile std::sig_atomic_t g_signal = 0;
+
+extern "C" void handle_cancel_signal(int sig) {
+  g_signal = sig;
+  if (auto* campaign = g_active.load(std::memory_order_relaxed))
+    campaign->cancel();
+}
 
 /// Parses --shard=I/OF.
 void parse_shard(const std::string& text, fnr::sweep::SweepOptions* options) {
@@ -164,13 +185,27 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    const auto result = sweep::run_sweep(spec, options);
+    campaign::Campaign run(spec, options);
+    g_active.store(&run, std::memory_order_relaxed);
+    std::signal(SIGINT, handle_cancel_signal);
+    std::signal(SIGTERM, handle_cancel_signal);
+    const auto result = run.run();
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+    g_active.store(nullptr, std::memory_order_relaxed);
     std::cout << "sweep '" << spec.name << "' shard " << options.shard_index
               << "/" << options.shard_count << ": " << result.executed
               << " executed, " << result.restored << " restored, graph cache "
               << result.graph_cache_hits << " hits / "
               << result.graph_cache_misses << " misses\n";
 
+    if (result.cancelled && g_signal != 0) {
+      std::cout << "interrupted by signal " << g_signal
+                << "; checkpoint flushed through the last finished cell; "
+                << "resume with --resume --checkpoint="
+                << options.checkpoint_path << "\n";
+      return 128 + static_cast<int>(g_signal);
+    }
     if (!result.complete) {
       std::cout << "campaign incomplete (" << result.cells.size()
                 << " cells finished); resume with --resume --checkpoint="

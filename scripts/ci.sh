@@ -104,3 +104,68 @@ if grep -q '"ok":false' fault_ci_a.json; then
   grep '"ok":false' fault_ci_a.json >&2
   exit 1
 fi
+
+# Service smoke: the same campaigns served through the fnrd daemon must
+# produce byte-identical merged JSON to the batch surface — across a
+# mid-stream client disconnect, a daemon kill -9, and a RESUME in a fresh
+# daemon process. Campaign ci-b is paused mid-campaign (--max-cells=2,
+# the deterministic stand-in for a kill; its checkpoint holds 2 of the
+# grid's cells) when the daemon takes a real kill -9, so RESUME exercises
+# the full persisted-submit + checkpoint recovery path.
+FNRD_DIR=$(mktemp -d)
+FNRD_SOCK="$FNRD_DIR/sock"
+FNRD_PID=0
+cleanup_fnrd() {
+  [[ "$FNRD_PID" != 0 ]] && kill "$FNRD_PID" 2>/dev/null || true
+  rm -rf "$FNRD_DIR"
+}
+trap cleanup_fnrd EXIT
+start_fnrd() {
+  ./fnrd --socket="$FNRD_SOCK" --workdir="$FNRD_DIR" --workers=2 \
+         --threads=2 --quiet &
+  FNRD_PID=$!
+  for _ in $(seq 1 100); do
+    ./fnrc --socket="$FNRD_SOCK" --verb=status >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  echo "fnrd smoke: daemon never started listening" >&2
+  return 1
+}
+
+start_fnrd
+# Two concurrent campaigns; ci-b pauses after 2 cells.
+./fnrc --socket="$FNRD_SOCK" --verb=submit --campaign=ci-a --spec=smoke
+./fnrc --socket="$FNRD_SOCK" --verb=submit --campaign=ci-b --spec=smoke \
+       --max-cells=2
+# A streaming client that disconnects mid-stream must cost nothing.
+./fnrc --socket="$FNRD_SOCK" --verb=stream --campaign=ci-a --max-frames=1 \
+       >/dev/null
+# Follow ci-a to its end frame (replay + live), then let both settle.
+./fnrc --socket="$FNRD_SOCK" --verb=stream --campaign=ci-a >/dev/null
+./fnrc --socket="$FNRD_SOCK" --verb=wait --campaign=ci-a >/dev/null
+./fnrc --socket="$FNRD_SOCK" --verb=wait --campaign=ci-b >/dev/null
+
+# The real kill -9: the daemon dies holding ci-b's mid-campaign state.
+kill -9 "$FNRD_PID"
+wait "$FNRD_PID" 2>/dev/null || true
+FNRD_PID=0
+
+# A fresh daemon knows nothing in memory; RESUME rebuilds ci-b from its
+# persisted submit frame + checkpoint and runs it to completion.
+start_fnrd
+./fnrc --socket="$FNRD_SOCK" --verb=resume --campaign=ci-b
+./fnrc --socket="$FNRD_SOCK" --verb=wait --campaign=ci-b >/dev/null
+
+# Both reports must match the batch bench/sweep bytes exactly (ci-a's
+# comes from its report file, written before the kill; ci-b's from the
+# resumed run).
+./fnrc --socket="$FNRD_SOCK" --verb=report --campaign=ci-a --raw \
+       > fnrd_ci_a.json
+./fnrc --socket="$FNRD_SOCK" --verb=report --campaign=ci-b --raw \
+       > fnrd_ci_b.json
+diff sweep_ci_a.json fnrd_ci_a.json
+diff sweep_ci_a.json fnrd_ci_b.json
+kill "$FNRD_PID"
+wait "$FNRD_PID" 2>/dev/null || true
+FNRD_PID=0
+echo "fnrd smoke: daemon reports byte-identical to the batch surface"

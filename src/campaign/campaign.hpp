@@ -1,0 +1,241 @@
+// The campaign core: the spec → grid → shard → checkpoint → merge
+// lifecycle as a reusable, resumable, cancelable object.
+//
+// Historically this lifecycle lived inside the batch-only sweep engine
+// (src/sweep/engine.cpp) and was reachable only through one-shot CLI
+// binaries. The campaign layer extracts it so *any* execution surface — the
+// bench/sweep CLI, the fnrd service daemon, an in-process test — drives the
+// identical machinery: sweep::run_sweep is now a thin wrapper over
+// Campaign, and fnrd's workers run Campaign directly with a streaming
+// callback.
+//
+// Execution model. expand(spec) defines the canonical grid; a shard owns
+// the cells with index % shard_count == shard_index, so any number of
+// worker processes can split a campaign without coordination. Within a
+// shard, cells are *executed* grouped by graph key (so the graph cache
+// turns repeated (family, n, params, seed) cells into one generation) but
+// *reported* in canonical grid order — execution order is invisible in
+// every artifact.
+//
+// Determinism contract. A cell's aggregate depends only on its key: trial
+// batches run through scenario::run_scenario_trials, whose aggregates are
+// bit-identical across thread counts, and graph generation draws only from
+// Rng(cell.seed, kGraphStream). Checkpoint lines carry the aggregate JSON
+// verbatim, and to_json() orders cells by grid index and excludes all
+// timing fields — so an interrupted-then-resumed campaign (even resumed
+// with a different thread count, a different batch size, or through a
+// different surface: CLI vs daemon) produces byte-identical merged JSON to
+// an uninterrupted run. scripts/ci.sh asserts exactly that on every build,
+// for both surfaces.
+//
+// Incremental results. Campaign::run invokes a per-cell callback the
+// moment a cell finishes (after its checkpoint line is flushed, so a
+// streamed cell is never lost to a crash) and for every cell restored from
+// the checkpoint on resume — a streaming client that reconnects after a
+// daemon kill -9 + RESUME replays the full result set.
+//
+// Cancelation. cancel() is thread- and signal-safe (one relaxed atomic
+// store); the run stops after the in-flight cell completes and its
+// checkpoint line is flushed, which is exactly the boundary resume needs.
+//
+// Checkpoints are append-only JSONL (one completed cell per line, flushed
+// per cell); a campaign killed mid-write leaves at most one torn final
+// line, which load_checkpoint drops (the cell re-runs on resume). An
+// unparsable line anywhere *before* the final one is real corruption, not
+// an interrupt signature, and raises a line-numbered CheckError — silently
+// stopping there used to discard every later completed cell.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sweep/spec.hpp"
+
+namespace fnr::campaign {
+
+/// Schema tag emitted in merged sweep reports ("fnr-sweep/<version>").
+inline constexpr int kSweepSchemaVersion = 1;
+[[nodiscard]] std::string sweep_schema_tag();
+
+struct CampaignOptions {
+  unsigned threads = 0;  ///< trial-runner pool size; 0 = hardware threads
+  /// This campaign owns grid cells with index % shard_count == shard_index.
+  std::uint32_t shard_index = 0;
+  std::uint32_t shard_count = 1;
+  /// Append-only JSONL checkpoint; empty disables checkpointing.
+  std::string checkpoint_path;
+  /// Load checkpoint_path first and skip completed cells by key. Without
+  /// resume, an existing checkpoint file is truncated (fresh campaign).
+  bool resume = false;
+  /// Stop after this many newly-executed cells (0 = no limit). CI smokes
+  /// use this as a deterministic "kill mid-campaign"; the daemon exposes it
+  /// per SUBMIT for the same purpose.
+  std::uint64_t max_cells = 0;
+  /// Lock-step batch size for the SoA trial kernel (0 or 1 = scalar path).
+  /// Purely a throughput lever: the kernel is bit-exact against the scalar
+  /// Scheduler, so merged JSON is byte-identical either way (faulty cells
+  /// always run scalar). Deliberately NOT part of any cell key.
+  std::uint64_t batch = 0;
+  /// Generated-topology cache slots (graphs are keyed by
+  /// SweepCell::graph_key(); eviction is least-recently-used).
+  std::size_t graph_cache_capacity = 4;
+  /// Per-cell progress lines (nullptr = silent).
+  std::ostream* progress = nullptr;
+};
+
+/// One cell's result. `agg_json` is TrialAggregate::to_json() — carried
+/// verbatim through checkpoints, never re-formatted.
+struct CellResult {
+  sweep::SweepCell cell;
+  bool ok = true;
+  std::string error;     ///< sanitized CheckError text when !ok
+  std::string agg_json;  ///< empty when !ok
+  double seconds = 0.0;  ///< wall-clock, informational (checkpoint only)
+  bool from_checkpoint = false;
+};
+
+/// Bounded cache of generated topologies keyed by SweepCell::graph_key().
+/// Entries are heap-allocated, so a returned reference stays valid until
+/// the entry itself is evicted — the campaign runs cells grouped by graph
+/// key, so the in-use graph is always the most recently used.
+class GraphCache {
+ public:
+  explicit GraphCache(std::size_t capacity);
+
+  /// The graph for `cell`, generated on miss (evicting the least-recently-
+  /// used entry when full).
+  [[nodiscard]] const graph::Graph& get(const sweep::SweepCell& cell);
+
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::unique_ptr<graph::Graph> graph;
+    std::uint64_t last_used = 0;
+  };
+  std::vector<Entry> entries_;
+  std::size_t capacity_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+// --- checkpoints -------------------------------------------------------------
+
+/// What a checkpoint line records about a completed cell.
+struct CheckpointEntry {
+  bool ok = true;
+  std::string agg_json;  ///< verbatim aggregate bytes
+  std::string error;
+  double seconds = 0.0;
+};
+
+/// Completed cells by key. A missing file yields an empty map; a torn
+/// final line (interrupted mid-write) is dropped so its cell re-runs.
+/// Throws a line-numbered CheckError on an unparsable line anywhere
+/// before the final one — that is corruption, and silently stopping
+/// there would discard every later completed cell.
+[[nodiscard]] std::map<std::string, CheckpointEntry> load_checkpoint(
+    const std::string& path);
+
+/// The JSONL line Campaign appends for `result` (exposed for tests).
+[[nodiscard]] std::string checkpoint_line(const CellResult& result);
+
+/// Merges shard checkpoints into a full campaign's results (canonical
+/// order). Throws CheckError naming the first missing cell when the
+/// checkpoints do not cover the whole grid.
+[[nodiscard]] std::vector<CellResult> results_from_checkpoints(
+    const sweep::SweepSpec& spec,
+    const std::vector<std::map<std::string, CheckpointEntry>>& checkpoints);
+
+// --- reporting ---------------------------------------------------------------
+
+/// Deterministic merged report: cells sorted by grid index, aggregate
+/// bytes verbatim, no timing fields. Byte-identical for resumed vs
+/// uninterrupted campaigns and for CLI vs daemon execution. Active-fault
+/// cells additionally carry a "fault" field (the plan key) and — when
+/// their fault-free twin cell is present and ok — a "vs_fault_free" block
+/// with the rounds overhead ratio and the success-rate drop; fault-free
+/// cells keep the exact bytes they had before the fault layer existed.
+[[nodiscard]] std::string to_json(const sweep::SweepSpec& spec,
+                                  const std::vector<CellResult>& cells);
+
+/// CSV rows (TrialAggregate columns, label = cell key); failed cells are
+/// skipped.
+[[nodiscard]] std::string to_csv(const std::vector<CellResult>& cells);
+
+// --- the campaign object -----------------------------------------------------
+
+/// Summary of one Campaign::run.
+struct CampaignRun {
+  /// This shard's cells in canonical grid order. When the campaign was
+  /// stopped early (max_cells or cancel), only finished cells are present.
+  std::vector<CellResult> cells;
+  std::uint64_t executed = 0;  ///< cells newly run (not restored)
+  std::uint64_t restored = 0;  ///< cells restored from the checkpoint
+  bool complete = false;       ///< every cell of this shard has a result
+  bool cancelled = false;      ///< run stopped because cancel() was called
+  std::uint64_t graph_cache_hits = 0;
+  std::uint64_t graph_cache_misses = 0;
+};
+
+/// Invoked once per finished cell, in execution order (restored cells are
+/// replayed through the same callback with from_checkpoint = true). The
+/// cell's checkpoint line is already flushed when the callback fires.
+using CellCallback = std::function<void(const CellResult&)>;
+
+/// One resumable, cancelable execution of a spec's shard. Construct, then
+/// run() exactly once; to resume later (same process or a fresh one),
+/// construct a new Campaign with options.resume = true and the same
+/// checkpoint path.
+class Campaign {
+ public:
+  /// Expands the grid and selects this shard's cells. Throws CheckError on
+  /// an invalid spec or shard range.
+  Campaign(sweep::SweepSpec spec, CampaignOptions options);
+
+  [[nodiscard]] const sweep::SweepSpec& spec() const noexcept {
+    return spec_;
+  }
+  [[nodiscard]] const CampaignOptions& options() const noexcept {
+    return options_;
+  }
+  /// This shard's cells, canonical grid order.
+  [[nodiscard]] const std::vector<sweep::SweepCell>& shard_cells()
+      const noexcept {
+    return cells_;
+  }
+
+  /// Executes the shard: restores checkpointed cells, runs the rest
+  /// grouped by graph key, appends + flushes a checkpoint line per cell,
+  /// and invokes `on_cell` for every finished cell. Stops early on
+  /// max_cells or cancel(). Callable once.
+  CampaignRun run(const CellCallback& on_cell = {});
+
+  /// Requests a stop after the in-flight cell completes (and its
+  /// checkpoint line is flushed). Safe from other threads and from signal
+  /// handlers — a single relaxed atomic store.
+  void cancel() noexcept { cancel_.store(true, std::memory_order_relaxed); }
+
+  [[nodiscard]] bool cancel_requested() const noexcept {
+    return cancel_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  sweep::SweepSpec spec_;
+  CampaignOptions options_;
+  std::vector<sweep::SweepCell> cells_;
+  std::atomic<bool> cancel_{false};
+  bool ran_ = false;
+};
+
+}  // namespace fnr::campaign

@@ -1,0 +1,66 @@
+// Thin Unix-domain socket helpers for the fnrd daemon and its client —
+// enough POSIX to run a poll(2) loop, and nothing more (no new
+// dependencies; local sockets are all a single-host campaign service
+// needs, and they make CI hermetic).
+//
+// All helpers throw CheckError with the failing path/errno text instead of
+// returning -1: a daemon that cannot bind its socket has nothing useful to
+// do with the error code except report it.
+#pragma once
+
+#include <string>
+
+namespace fnr::net {
+
+/// RAII fd: closes on destruction, moves, never copies. `release()` hands
+/// ownership back for APIs that keep raw fds.
+class OwnedFd {
+ public:
+  OwnedFd() = default;
+  explicit OwnedFd(int fd) noexcept : fd_(fd) {}
+  OwnedFd(OwnedFd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  OwnedFd& operator=(OwnedFd&& other) noexcept;
+  OwnedFd(const OwnedFd&) = delete;
+  OwnedFd& operator=(const OwnedFd&) = delete;
+  ~OwnedFd();
+
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset(int fd = -1) noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on a Unix-domain socket at `path`, unlinking a stale
+/// socket file first. Throws CheckError when the path exceeds sun_path or
+/// any syscall fails.
+[[nodiscard]] OwnedFd listen_unix(const std::string& path, int backlog = 16);
+
+/// Connects to the Unix-domain socket at `path`.
+[[nodiscard]] OwnedFd connect_unix(const std::string& path);
+
+/// Sets O_NONBLOCK on `fd`.
+void set_nonblocking(int fd);
+
+/// A self-pipe for waking a poll loop from signal handlers and worker
+/// threads: write one byte to `wake`, poll `wait` for readability.
+struct Pipe {
+  OwnedFd wait;
+  OwnedFd wake;
+};
+[[nodiscard]] Pipe make_pipe();
+
+/// Writes one byte to `fd`, ignoring EAGAIN (the pipe already has a
+/// pending wake byte — the loop will wake regardless). Async-signal-safe.
+void wake_pipe(int fd) noexcept;
+
+/// Drains all pending bytes from a non-blocking pipe read end.
+void drain_pipe(int fd) noexcept;
+
+}  // namespace fnr::net

@@ -1,0 +1,54 @@
+#include "service/client.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <unistd.h>
+
+#include "util/check.hpp"
+
+namespace fnr::service {
+
+Connection::Connection(const std::string& socket_path,
+                       std::uint32_t max_frame)
+    : fd_(net::connect_unix(socket_path)),
+      reader_(max_frame),
+      max_frame_(max_frame) {}
+
+void Connection::send(const std::string& payload) {
+  FNR_CHECK_MSG(fd_.valid(), "fnrd connection is closed");
+  const std::string frame = net::encode_frame(payload, max_frame_);
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t wrote =
+        ::write(fd_.get(), frame.data() + sent, frame.size() - sent);
+    if (wrote < 0 && errno == EINTR) continue;
+    FNR_CHECK_MSG(wrote > 0, "fnrd send: " << std::strerror(errno));
+    sent += static_cast<std::size_t>(wrote);
+  }
+}
+
+std::string Connection::recv(int timeout_ms) {
+  FNR_CHECK_MSG(fd_.valid(), "fnrd connection is closed");
+  std::string payload;
+  while (!reader_.next(&payload)) {
+    pollfd pfd{fd_.get(), POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0 && errno == EINTR) continue;
+    FNR_CHECK_MSG(ready > 0, "fnrd recv: timed out after "
+                                 << timeout_ms << "ms waiting for a frame");
+    char buffer[4096];
+    const ssize_t got = ::read(fd_.get(), buffer, sizeof(buffer));
+    if (got < 0 && errno == EINTR) continue;
+    FNR_CHECK_MSG(got >= 0, "fnrd recv: " << std::strerror(errno));
+    FNR_CHECK_MSG(got > 0, "fnrd recv: daemon closed the connection"
+                               << (reader_.mid_frame() ? " mid-frame" : ""));
+    reader_.feed(buffer, static_cast<std::size_t>(got));
+  }
+  return payload;
+}
+
+void Connection::close() { fd_.reset(); }
+
+}  // namespace fnr::service

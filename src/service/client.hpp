@@ -1,0 +1,39 @@
+// Blocking client-side connection to an fnrd daemon: frame-at-a-time
+// send/receive over the Unix-domain socket, with a poll-based receive
+// timeout. Used by the fnrc CLI and the service tests; the daemon side
+// never blocks, so all the waiting lives here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/framing.hpp"
+#include "net/socket.hpp"
+
+namespace fnr::service {
+
+class Connection {
+ public:
+  /// Connects immediately; throws CheckError when the daemon is not
+  /// listening.
+  explicit Connection(const std::string& socket_path,
+                      std::uint32_t max_frame = net::kDefaultMaxFrame);
+
+  /// Sends one framed payload (blocking until fully written).
+  void send(const std::string& payload);
+
+  /// Receives the next frame payload. Throws CheckError on timeout, a
+  /// framing violation, or the daemon closing the connection.
+  [[nodiscard]] std::string recv(int timeout_ms = 60'000);
+
+  /// Closes the socket early (e.g. to simulate a client disconnect
+  /// mid-stream); further send/recv calls throw.
+  void close();
+
+ private:
+  net::OwnedFd fd_;
+  net::FrameReader reader_;
+  std::uint32_t max_frame_;
+};
+
+}  // namespace fnr::service

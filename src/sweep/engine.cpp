@@ -1,501 +1,10 @@
 #include "sweep/engine.hpp"
 
-#include <algorithm>
-#include <chrono>
-#include <cstdio>
-#include <fstream>
-#include <sstream>
-
-#include "runner/trial_runner.hpp"
-#include "scenario/run.hpp"
-#include "util/json.hpp"
-#include "util/table.hpp"
-
 namespace fnr::sweep {
 
-std::string sweep_schema_tag() {
-  return "fnr-sweep/" + std::to_string(kSweepSchemaVersion);
-}
-
-// --- graph cache -------------------------------------------------------------
-
-GraphCache::GraphCache(std::size_t capacity)
-    : capacity_(std::max<std::size_t>(1, capacity)) {}
-
-const graph::Graph& GraphCache::get(const SweepCell& cell) {
-  const std::string key = cell.graph_key();
-  ++tick_;
-  for (auto& entry : entries_) {
-    if (entry.key == key) {
-      entry.last_used = tick_;
-      ++hits_;
-      return *entry.graph;
-    }
-  }
-  ++misses_;
-  if (entries_.size() >= capacity_) {
-    const auto lru = std::min_element(
-        entries_.begin(), entries_.end(),
-        [](const Entry& a, const Entry& b) { return a.last_used < b.last_used; });
-    entries_.erase(lru);
-  }
-  entries_.push_back(Entry{
-      key,
-      std::make_unique<graph::Graph>(
-          cell.topology.build(cell.n, cell.seed)),
-      tick_});
-  return *entries_.back().graph;
-}
-
-// --- checkpoints -------------------------------------------------------------
-
-namespace {
-
-/// Checkpoint/report strings must stay inside the no-escape JSON subset:
-/// quotes, backslashes, and control characters are replaced, not escaped.
-std::string json_safe(const std::string& text) {
-  std::string out = text;
-  for (char& c : out) {
-    if (c == '"') c = '\'';
-    if (c == '\\') c = '/';
-    if (c == '\n' || c == '\r' || c == '\t') c = ' ';
-  }
-  return out;
-}
-
-CheckpointEntry parse_checkpoint_line(const std::string& line,
-                                      std::string* key_out) {
-  JsonCursor cursor(line, "sweep checkpoint");
-  CheckpointEntry entry;
-  cursor.expect('{');
-  bool first = true;
-  bool have_key = false;
-  while (!cursor.peek_is('}')) {
-    if (!first) cursor.expect(',');
-    first = false;
-    const std::string field = cursor.parse_string();
-    cursor.expect(':');
-    if (field == "key") {
-      *key_out = cursor.parse_string();
-      have_key = true;
-    } else if (field == "ok") {
-      entry.ok = cursor.parse_bool();
-    } else if (field == "seconds") {
-      entry.seconds = cursor.parse_number();
-    } else if (field == "agg") {
-      entry.agg_json = cursor.capture_value();
-    } else if (field == "error") {
-      entry.error = cursor.parse_string();
-    } else {
-      FNR_CHECK_MSG(false,
-                    "sweep checkpoint: unknown field '" << field << "'");
-    }
-  }
-  cursor.expect('}');
-  cursor.expect_end();
-  FNR_CHECK_MSG(have_key, "sweep checkpoint: line without a cell key");
-  FNR_CHECK_MSG(entry.ok == !entry.agg_json.empty(),
-                "sweep checkpoint: ok cells must carry 'agg', failed cells "
-                "must not");
-  return entry;
-}
-
-}  // namespace
-
-std::map<std::string, CheckpointEntry> load_checkpoint(
-    const std::string& path) {
-  std::map<std::string, CheckpointEntry> done;
-  std::ifstream in(path);
-  if (!in.good()) return done;  // no checkpoint yet — nothing to resume
-  std::vector<std::string> lines;
-  std::string line;
-  while (std::getline(in, line)) lines.push_back(line);
-  // Only the final non-empty line can legitimately be unparsable: lines
-  // are flushed per cell, so a kill mid-write tears at most the last one.
-  std::size_t last = lines.size();
-  while (last > 0 && lines[last - 1].empty()) --last;
-  for (std::size_t i = 0; i < last; ++i) {
-    if (lines[i].empty()) continue;
-    std::string key;
-    try {
-      CheckpointEntry entry = parse_checkpoint_line(lines[i], &key);
-      done[key] = std::move(entry);
-    } catch (const CheckError& error) {
-      if (i + 1 == last) break;  // torn final line: drop it, cell re-runs
-      // A bad line with intact records after it is corruption, not an
-      // interrupt signature. The old behavior — stop scanning — silently
-      // discarded every later completed cell; fail loudly instead.
-      throw CheckError("sweep checkpoint '" + path + "' line " +
-                       std::to_string(i + 1) + ": " + error.what());
-    }
-  }
-  return done;
-}
-
-namespace {
-
-std::string checkpoint_line_for(const std::string& key, bool ok,
-                                const std::string& agg_json,
-                                const std::string& error, double seconds) {
-  std::ostringstream os;
-  os << "{\"key\":\"" << json_safe(key) << "\",\"ok\":"
-     << (ok ? "true" : "false");
-  if (ok) {
-    os << ",\"agg\":" << agg_json;
-  } else {
-    os << ",\"error\":\"" << json_safe(error) << "\"";
-  }
-  os << ",\"seconds\":" << format_double(seconds, 6) << "}";
-  return os.str();
-}
-
-}  // namespace
-
-std::string checkpoint_line(const CellResult& result) {
-  return checkpoint_line_for(result.cell.key(), result.ok, result.agg_json,
-                             result.error, result.seconds);
-}
-
-// --- execution ---------------------------------------------------------------
-
-namespace {
-
-CellResult restored_result(const SweepCell& cell,
-                           const CheckpointEntry& entry) {
-  CellResult result;
-  result.cell = cell;
-  result.ok = entry.ok;
-  result.agg_json = entry.agg_json;
-  result.error = entry.error;
-  result.seconds = entry.seconds;
-  result.from_checkpoint = true;
-  return result;
-}
-
-CellResult execute_cell(const SweepCell& cell, GraphCache& cache,
-                        const runner::TrialRunner& trial_runner,
-                        std::uint64_t batch) {
-  CellResult result;
-  result.cell = cell;
-  const auto start = std::chrono::steady_clock::now();
-  try {
-    const graph::Graph& g = cache.get(cell);
-    scenario::Scenario scen = scenario::find_scenario(cell.scenario);
-    // Gather-axis cells run the registered scenario with the predicate
-    // swapped (expand() already pruned overrides the scenario cannot host).
-    if (cell.gather.has_value()) scen.gathering = *cell.gather;
-    scenario::ScenarioOptions options;
-    options.seed = cell.seed;
-    options.fault = cell.fault;
-    const auto acc = scenario::run_scenario_trials(
-        scen, cell.program, g, options, cell.trials, trial_runner, batch);
-    result.agg_json = acc.aggregate().to_json();
-  } catch (const CheckError& error) {
-    // A cell that cannot run (e.g. no-whiteboard on a graph with isolated
-    // vertices) is a deterministic property of its key: record it and let
-    // the campaign continue instead of losing every other cell.
-    result.ok = false;
-    result.error = error.what();
-  }
-  const auto stop = std::chrono::steady_clock::now();
-  result.seconds = std::chrono::duration<double>(stop - start).count();
-  return result;
-}
-
-}  // namespace
-
 SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options) {
-  FNR_CHECK_MSG(options.shard_count >= 1 &&
-                    options.shard_index < options.shard_count,
-                "shard index " << options.shard_index << " not in [0, "
-                               << options.shard_count << ")");
-  const auto grid = expand(spec);
-
-  // This shard's cells, in canonical grid order.
-  std::vector<SweepCell> mine;
-  for (const auto& cell : grid)
-    if (cell.index % options.shard_count == options.shard_index)
-      mine.push_back(cell);
-
-  std::map<std::string, CheckpointEntry> done;
-  if (options.resume && !options.checkpoint_path.empty())
-    done = load_checkpoint(options.checkpoint_path);
-
-  std::ofstream checkpoint;
-  if (!options.checkpoint_path.empty()) {
-    // Always rewrite from the loaded entries rather than appending to the
-    // raw file: a campaign killed mid-write leaves a torn, newline-less
-    // final line, and appending after it would corrupt the next record
-    // (silently dropping every later cell on the *following* resume).
-    // The rewrite goes through a temp file + rename so a kill during the
-    // rewrite itself cannot lose already-completed cells either.
-    const std::string tmp_path = options.checkpoint_path + ".tmp";
-    {
-      std::ofstream rewrite(tmp_path, std::ios::trunc);
-      FNR_CHECK_MSG(rewrite.good(), "cannot open checkpoint temp '"
-                                        << tmp_path << "' for writing");
-      for (const auto& [key, entry] : done)
-        rewrite << checkpoint_line_for(key, entry.ok, entry.agg_json,
-                                       entry.error, entry.seconds)
-                << "\n";
-      rewrite.flush();
-      FNR_CHECK_MSG(rewrite.good(),
-                    "checkpoint rewrite to '" << tmp_path << "' failed");
-    }
-    FNR_CHECK_MSG(
-        std::rename(tmp_path.c_str(), options.checkpoint_path.c_str()) == 0,
-        "cannot replace checkpoint '" << options.checkpoint_path << "'");
-    checkpoint.open(options.checkpoint_path, std::ios::app);
-    FNR_CHECK_MSG(checkpoint.good(), "cannot open checkpoint '"
-                                         << options.checkpoint_path
-                                         << "' for writing");
-  }
-
-  // Execute grouped by graph key (then canonical order within a group) so
-  // repeated cells on one generated topology hit the cache back to back.
-  std::vector<std::size_t> order(mine.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::stable_sort(order.begin(), order.end(),
-                   [&](std::size_t a, std::size_t b) {
-                     return mine[a].graph_key() < mine[b].graph_key();
-                   });
-
-  const runner::TrialRunner trial_runner(
-      runner::RunnerOptions{options.threads});
-  GraphCache cache(options.graph_cache_capacity);
-
-  SweepResult result;
-  std::vector<CellResult> staged(mine.size());
-  std::vector<char> have(mine.size(), 0);
-  for (const std::size_t slot : order) {
-    const SweepCell& cell = mine[slot];
-    const std::string key = cell.key();
-    if (const auto it = done.find(key); it != done.end()) {
-      staged[slot] = restored_result(cell, it->second);
-      have[slot] = 1;
-      ++result.restored;
-      continue;
-    }
-    if (options.max_cells > 0 && result.executed >= options.max_cells)
-      continue;  // "killed" mid-campaign: later cells stay unfinished
-    staged[slot] = execute_cell(cell, cache, trial_runner, options.batch);
-    have[slot] = 1;
-    ++result.executed;
-    if (checkpoint.is_open()) {
-      checkpoint << checkpoint_line(staged[slot]) << "\n" << std::flush;
-      FNR_CHECK_MSG(checkpoint.good(), "checkpoint write to '"
-                                           << options.checkpoint_path
-                                           << "' failed");
-    }
-    if (options.progress != nullptr) {
-      const auto& r = staged[slot];
-      *options.progress << "[" << (result.executed + result.restored) << "/"
-                        << mine.size() << "] " << key << " — "
-                        << (r.ok ? "ok" : "FAILED") << " ("
-                        << format_double(r.seconds, 3) << "s)\n";
-    }
-  }
-
-  for (std::size_t i = 0; i < staged.size(); ++i)
-    if (have[i]) result.cells.push_back(std::move(staged[i]));
-  result.complete = result.cells.size() == mine.size();
-  result.graph_cache_hits = cache.hits();
-  result.graph_cache_misses = cache.misses();
-  return result;
-}
-
-std::vector<CellResult> results_from_checkpoints(
-    const SweepSpec& spec,
-    const std::vector<std::map<std::string, CheckpointEntry>>& checkpoints) {
-  std::vector<CellResult> results;
-  for (const auto& cell : expand(spec)) {
-    const std::string key = cell.key();
-    const CheckpointEntry* found = nullptr;
-    for (const auto& checkpoint : checkpoints) {
-      const auto it = checkpoint.find(key);
-      if (it != checkpoint.end()) {
-        found = &it->second;
-        break;
-      }
-    }
-    FNR_CHECK_MSG(found != nullptr,
-                  "merge: no checkpoint covers cell '" << key << "'");
-    results.push_back(restored_result(cell, *found));
-  }
-  return results;
-}
-
-// --- reporting ---------------------------------------------------------------
-
-namespace {
-
-/// Rebuilds a TrialAggregate from the verbatim aggregate JSON a cell
-/// carries (the reverse of TrialAggregate::to_json, minus Summary.count,
-/// which the JSON does not record and the CSV does not emit).
-runner::TrialAggregate parse_agg_json(const std::string& json) {
-  JsonCursor cursor(json, "sweep aggregate");
-  runner::TrialAggregate agg;
-  cursor.expect('{');
-  bool first = true;
-  while (!cursor.peek_is('}')) {
-    if (!first) cursor.expect(',');
-    first = false;
-    const std::string field = cursor.parse_string();
-    cursor.expect(':');
-    if (field == "trials") {
-      agg.trials = cursor.parse_uint64();
-    } else if (field == "successes") {
-      agg.successes = cursor.parse_uint64();
-    } else if (field == "failures") {
-      agg.failures = cursor.parse_uint64();
-    } else if (field == "success_rate") {
-      agg.success_rate = cursor.parse_number();
-    } else if (field == "rounds") {
-      cursor.expect('{');
-      bool inner_first = true;
-      while (!cursor.peek_is('}')) {
-        if (!inner_first) cursor.expect(',');
-        inner_first = false;
-        const std::string stat = cursor.parse_string();
-        cursor.expect(':');
-        const double value = cursor.parse_number();
-        if (stat == "mean") agg.rounds.mean = value;
-        else if (stat == "median") agg.rounds.median = value;
-        else if (stat == "p90") agg.rounds.p90 = value;
-        else if (stat == "p95") agg.rounds.p95 = value;
-        else if (stat == "min") agg.rounds.min = value;
-        else if (stat == "max") agg.rounds.max = value;
-        else FNR_CHECK_MSG(false, "sweep aggregate: unknown rounds field '"
-                                      << stat << "'");
-      }
-      cursor.expect('}');
-    } else if (field == "mean_gathered") {
-      agg.mean_gathered = cursor.parse_number();
-    } else if (field == "total_marks") {
-      agg.total_marks = cursor.parse_uint64();
-    } else if (field == "mean_marks") {
-      agg.mean_marks = cursor.parse_number();
-    } else if (field == "mean_moves_a") {
-      agg.mean_moves_a = cursor.parse_number();
-    } else if (field == "mean_moves_b") {
-      agg.mean_moves_b = cursor.parse_number();
-    } else if (field == "faults") {
-      cursor.expect('{');
-      bool inner_first = true;
-      while (!cursor.peek_is('}')) {
-        if (!inner_first) cursor.expect(',');
-        inner_first = false;
-        const std::string counter = cursor.parse_string();
-        cursor.expect(':');
-        const std::uint64_t value = cursor.parse_uint64();
-        if (counter == "crashes") agg.fault_totals.crashes = value;
-        else if (counter == "restarts") agg.fault_totals.restarts = value;
-        else if (counter == "writes_dropped")
-          agg.fault_totals.writes_dropped = value;
-        else if (counter == "wipes") agg.fault_totals.wipes = value;
-        else if (counter == "stale_reads") agg.fault_totals.stale_reads = value;
-        else if (counter == "moves_blocked")
-          agg.fault_totals.moves_blocked = value;
-        else FNR_CHECK_MSG(false, "sweep aggregate: unknown faults field '"
-                                      << counter << "'");
-      }
-      cursor.expect('}');
-    } else {
-      FNR_CHECK_MSG(false,
-                    "sweep aggregate: unknown field '" << field << "'");
-    }
-  }
-  cursor.expect('}');
-  cursor.expect_end();
-  return agg;
-}
-
-}  // namespace
-
-std::string to_json(const SweepSpec& spec,
-                    const std::vector<CellResult>& cells) {
-  std::vector<const CellResult*> ordered;
-  ordered.reserve(cells.size());
-  for (const auto& cell : cells) ordered.push_back(&cell);
-  std::sort(ordered.begin(), ordered.end(),
-            [](const CellResult* a, const CellResult* b) {
-              return a->cell.index < b->cell.index;
-            });
-  // Fault-free twins by key: a faulty cell differs from its control only
-  // by the `|fault=...` key suffix, so stripping the plan finds the twin
-  // and the report can carry robustness deltas (success under f, overhead
-  // vs fault-free) without a second campaign. Twin lookup walks verbatim
-  // aggregate bytes, so the deltas are as deterministic as the cells.
-  std::map<std::string, const CellResult*> fault_free;
-  for (const CellResult* r : ordered)
-    if (r->ok && !r->cell.fault.active()) fault_free[r->cell.key()] = r;
-  std::ostringstream os;
-  os << "{\n"
-     << "  \"schema\": \"" << sweep_schema_tag() << "\",\n"
-     << "  \"spec\": \"" << json_safe(spec.name) << "\",\n"
-     << "  \"cells\": [\n";
-  for (std::size_t i = 0; i < ordered.size(); ++i) {
-    const CellResult& r = *ordered[i];
-    os << "    {\"key\":\"" << json_safe(r.cell.key()) << "\",\"program\":\""
-       << scenario::to_string(r.cell.program) << "\",\"scenario\":\""
-       << json_safe(r.cell.scenario) << "\",\"topology\":\""
-       << json_safe(r.cell.topology.key()) << "\",\"n\":" << r.cell.n
-       << ",\"achieved_n\":" << r.cell.achieved_n
-       << ",\"seed\":" << r.cell.seed << ",\"trials\":" << r.cell.trials;
-    if (r.cell.gather.has_value())
-      os << ",\"gather\":\"" << json_safe(sim::to_string(*r.cell.gather))
-         << "\"";
-    if (r.cell.fault.active())
-      os << ",\"fault\":\"" << json_safe(r.cell.fault.key()) << "\"";
-    os << ",\"ok\":" << (r.ok ? "true" : "false");
-    if (r.ok) {
-      os << ",\"agg\":" << r.agg_json;
-      if (r.cell.fault.active()) {
-        SweepCell twin = r.cell;
-        twin.fault = fault::FaultPlan{};
-        // The block is emitted only when the report actually contains a
-        // usable control: the twin may be missing entirely (sharded run
-        // with the twin in another shard, or a truncated cell set), and a
-        // control with no finished rounds would make the overhead ratio
-        // meaningless. In both cases the cell simply carries no
-        // vs_fault_free block rather than fabricated numbers.
-        const auto it = fault_free.find(twin.key());
-        if (it != fault_free.end()) {
-          const auto control = parse_agg_json(it->second->agg_json);
-          if (control.rounds.mean > 0.0) {
-            const auto faulty = parse_agg_json(r.agg_json);
-            os << ",\"vs_fault_free\":{\"rounds_overhead\":"
-               << format_double(faulty.rounds.mean / control.rounds.mean, 4)
-               << ",\"success_drop\":"
-               << format_double(control.success_rate - faulty.success_rate, 4)
-               << "}";
-          }
-        }
-      }
-    } else {
-      os << ",\"error\":\"" << json_safe(r.error) << "\"";
-    }
-    os << "}" << (i + 1 < ordered.size() ? "," : "") << "\n";
-  }
-  os << "  ]\n}";
-  return os.str();
-}
-
-std::string to_csv(const std::vector<CellResult>& cells) {
-  std::vector<const CellResult*> ordered;
-  ordered.reserve(cells.size());
-  for (const auto& cell : cells) ordered.push_back(&cell);
-  std::sort(ordered.begin(), ordered.end(),
-            [](const CellResult* a, const CellResult* b) {
-              return a->cell.index < b->cell.index;
-            });
-  std::ostringstream os;
-  os << runner::TrialAggregate::csv_header() << "\n";
-  for (const CellResult* r : ordered) {
-    if (!r->ok) continue;  // failed cells have no aggregate columns
-    os << parse_agg_json(r->agg_json).to_csv_row(r->cell.key()) << "\n";
-  }
-  return os.str();
+  campaign::Campaign run(spec, options);
+  return run.run();
 }
 
 }  // namespace fnr::sweep

@@ -1,172 +1,50 @@
-// The sweep engine: executes a SweepSpec's cell grid — sharded, cached,
-// checkpointed, and resumable.
+// The batch sweep surface — a thin client of the campaign core.
 //
-// Execution model. expand(spec) defines the canonical grid; a shard owns
-// the cells with index % shard_count == shard_index, so any number of
-// worker processes can split a campaign without coordination. Within a
-// shard, cells are *executed* grouped by graph key (so the graph cache
-// turns repeated (family, n, params, seed) cells into one generation) but
-// *reported* in canonical grid order — execution order is invisible in
-// every artifact.
-//
-// Determinism contract. A cell's aggregate depends only on its key: trial
-// batches run through scenario::run_scenario_trials, whose aggregates are
-// bit-identical across thread counts, and graph generation draws only from
-// Rng(cell.seed, kGraphStream). Checkpoint lines carry the aggregate JSON
-// verbatim, and to_json() orders cells by grid index and excludes all
-// timing fields — so an interrupted-then-resumed campaign (even resumed
-// with a different --threads) produces byte-identical merged JSON to an
-// uninterrupted run. scripts/ci.sh asserts exactly that on every build.
-//
-// Checkpoints are append-only JSONL (one completed cell per line, flushed
-// per cell); a campaign killed mid-write leaves at most one torn final
-// line, which load_checkpoint drops (the cell re-runs on resume). An
-// unparsable line anywhere *before* the final one is real corruption, not
-// an interrupt signature, and raises a line-numbered CheckError — silently
-// stopping there used to discard every later completed cell.
+// The spec → grid → shard → checkpoint → merge lifecycle lives in
+// src/campaign/campaign.hpp (extracted so the fnrd service daemon and the
+// batch CLI drive the identical machinery). This header keeps the
+// historical `fnr::sweep` names as aliases and forwards so existing
+// callers — bench/sweep, tests, scripts — compile and behave unchanged:
+// run_sweep constructs a one-shot campaign::Campaign and returns its
+// summary. See campaign.hpp for the execution model and the determinism
+// contract (byte-identical merged JSON across interrupts, shards, thread
+// counts, and execution surfaces).
 #pragma once
 
 #include <cstdint>
-#include <iosfwd>
 #include <map>
-#include <memory>
 #include <string>
 #include <vector>
 
-#include "graph/graph.hpp"
+#include "campaign/campaign.hpp"
 #include "sweep/spec.hpp"
 
 namespace fnr::sweep {
 
 /// Schema tag emitted in merged sweep reports ("fnr-sweep/<version>").
-inline constexpr int kSweepSchemaVersion = 1;
-[[nodiscard]] std::string sweep_schema_tag();
+inline constexpr int kSweepSchemaVersion = campaign::kSweepSchemaVersion;
+using campaign::sweep_schema_tag;
 
-struct SweepOptions {
-  unsigned threads = 0;  ///< trial-runner pool size; 0 = hardware threads
-  /// This process owns grid cells with index % shard_count == shard_index.
-  std::uint32_t shard_index = 0;
-  std::uint32_t shard_count = 1;
-  /// Append-only JSONL checkpoint; empty disables checkpointing.
-  std::string checkpoint_path;
-  /// Load checkpoint_path first and skip completed cells by key. Without
-  /// resume, an existing checkpoint file is truncated (fresh campaign).
-  bool resume = false;
-  /// Stop after this many newly-executed cells (0 = no limit). The CI
-  /// smoke uses this as a deterministic "kill mid-campaign".
-  std::uint64_t max_cells = 0;
-  /// Lock-step batch size for the SoA trial kernel (0 or 1 = scalar path).
-  /// Purely a throughput lever: the kernel is bit-exact against the scalar
-  /// Scheduler, so merged JSON is byte-identical either way (faulty cells
-  /// always run scalar). Deliberately NOT part of any cell key.
-  std::uint64_t batch = 0;
-  /// Generated-topology cache slots (graphs are keyed by
-  /// SweepCell::graph_key(); eviction is least-recently-used).
-  std::size_t graph_cache_capacity = 4;
-  /// Per-cell progress lines (nullptr = silent).
-  std::ostream* progress = nullptr;
-};
+using SweepOptions = campaign::CampaignOptions;
+using CellResult = campaign::CellResult;
+using GraphCache = campaign::GraphCache;
+using CheckpointEntry = campaign::CheckpointEntry;
 
-/// One cell's result. `agg_json` is TrialAggregate::to_json() — carried
-/// verbatim through checkpoints, never re-formatted.
-struct CellResult {
-  SweepCell cell;
-  bool ok = true;
-  std::string error;     ///< sanitized CheckError text when !ok
-  std::string agg_json;  ///< empty when !ok
-  double seconds = 0.0;  ///< wall-clock, informational (checkpoint only)
-  bool from_checkpoint = false;
-};
+/// Summary of one batch sweep (campaign::CampaignRun under its historical
+/// name; `cancelled` reports a SIGINT/SIGTERM-interrupted CLI run).
+using SweepResult = campaign::CampaignRun;
 
-struct SweepResult {
-  /// This shard's cells in canonical grid order. When the campaign was
-  /// stopped early (max_cells), only finished cells are present.
-  std::vector<CellResult> cells;
-  std::uint64_t executed = 0;  ///< cells newly run (not restored)
-  std::uint64_t restored = 0;  ///< cells restored from the checkpoint
-  bool complete = false;       ///< every cell of this shard has a result
-  std::uint64_t graph_cache_hits = 0;
-  std::uint64_t graph_cache_misses = 0;
-};
+// Checkpoint IO, shard merging, and reporting are the campaign core's
+// functions, re-exported under their historical names (using-declarations
+// rather than wrappers, so unqualified calls never see two overloads).
+using campaign::checkpoint_line;
+using campaign::load_checkpoint;
+using campaign::results_from_checkpoints;
+using campaign::to_csv;
+using campaign::to_json;
 
-/// Bounded cache of generated topologies keyed by SweepCell::graph_key().
-/// Entries are heap-allocated, so a returned reference stays valid until
-/// the entry itself is evicted — the engine runs cells grouped by graph
-/// key, so the in-use graph is always the most recently used.
-class GraphCache {
- public:
-  explicit GraphCache(std::size_t capacity);
-
-  /// The graph for `cell`, generated on miss (evicting the least-recently-
-  /// used entry when full).
-  [[nodiscard]] const graph::Graph& get(const SweepCell& cell);
-
-  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
-  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
-
- private:
-  struct Entry {
-    std::string key;
-    std::unique_ptr<graph::Graph> graph;
-    std::uint64_t last_used = 0;
-  };
-  std::vector<Entry> entries_;
-  std::size_t capacity_;
-  std::uint64_t tick_ = 0;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-};
-
-// --- checkpoints -------------------------------------------------------------
-
-/// What a checkpoint line records about a completed cell.
-struct CheckpointEntry {
-  bool ok = true;
-  std::string agg_json;  ///< verbatim aggregate bytes
-  std::string error;
-  double seconds = 0.0;
-};
-
-/// Completed cells by key. A missing file yields an empty map; a torn
-/// final line (interrupted mid-write) is dropped so its cell re-runs.
-/// Throws a line-numbered CheckError on an unparsable line anywhere
-/// before the final one — that is corruption, and silently stopping
-/// there would discard every later completed cell.
-[[nodiscard]] std::map<std::string, CheckpointEntry> load_checkpoint(
-    const std::string& path);
-
-/// The JSONL line append_checkpoint writes for `result` (exposed for
-/// tests).
-[[nodiscard]] std::string checkpoint_line(const CellResult& result);
-
-// --- execution ---------------------------------------------------------------
-
-/// Runs this shard's cells of the spec. See the file header for the
-/// execution and determinism contract.
+/// Runs this shard's cells of the spec: one whole campaign::Campaign run.
 [[nodiscard]] SweepResult run_sweep(const SweepSpec& spec,
                                     const SweepOptions& options);
-
-/// Merges shard checkpoints into a full campaign's results (canonical
-/// order). Throws CheckError naming the first missing cell when the
-/// checkpoints do not cover the whole grid.
-[[nodiscard]] std::vector<CellResult> results_from_checkpoints(
-    const SweepSpec& spec,
-    const std::vector<std::map<std::string, CheckpointEntry>>& checkpoints);
-
-// --- reporting ---------------------------------------------------------------
-
-/// Deterministic merged report: cells sorted by grid index, aggregate
-/// bytes verbatim, no timing fields. Byte-identical for resumed vs
-/// uninterrupted campaigns. Active-fault cells additionally carry a
-/// "fault" field (the plan key) and — when their fault-free twin cell is
-/// present and ok — a "vs_fault_free" block with the rounds overhead
-/// ratio and the success-rate drop; fault-free cells keep the exact
-/// bytes they had before the fault layer existed.
-[[nodiscard]] std::string to_json(const SweepSpec& spec,
-                                  const std::vector<CellResult>& cells);
-
-/// CSV rows (TrialAggregate columns, label = cell key); failed cells are
-/// skipped.
-[[nodiscard]] std::string to_csv(const std::vector<CellResult>& cells);
 
 }  // namespace fnr::sweep

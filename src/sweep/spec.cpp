@@ -264,6 +264,10 @@ void SweepSpec::validate() const {
     FNR_CHECK_MSG(n >= 4 && n <= kMaxSize,
                   "sweep spec '" << name << "': size " << n
                                  << " out of [4, 2^20]");
+  for (const auto k : agents)
+    FNR_CHECK_MSG(k >= 2 && k <= kMaxSize,
+                  "sweep spec '" << name << "': agents value " << k
+                                 << " out of [2, 2^20]");
 }
 
 std::string SweepCell::key() const {
@@ -272,6 +276,7 @@ std::string SweepCell::key() const {
      << topology.key() << "|n=" << n << "|seed=" << seed
      << "|trials=" << trials;
   if (gather.has_value()) os << "|gather=" << sim::to_string(*gather);
+  if (k.has_value()) os << "|k=" << *k;
   if (fault.active()) os << "|fault=" << fault.key();
   return os.str();
 }
@@ -288,63 +293,86 @@ std::vector<SweepCell> expand(const SweepSpec& spec) {
   // no-override slot: the grid (keys and indices) matches specs written
   // before either axis existed.
   static const std::vector<fault::FaultPlan> kFaultFree(1);
-  static const std::vector<std::optional<sim::Gathering>> kNoOverride(1);
+  static const std::vector<std::optional<sim::Gathering>> kNoGatherOverride(1);
+  static const std::vector<std::optional<std::uint64_t>> kNoKOverride(1);
   const auto& fault_axis = spec.faults.empty() ? kFaultFree : spec.faults;
   std::vector<std::optional<sim::Gathering>> gather_axis;
   if (spec.gathers.empty()) {
-    gather_axis = kNoOverride;
+    gather_axis = kNoGatherOverride;
   } else {
     gather_axis.reserve(spec.gathers.size());
     for (const auto& gather : spec.gathers) gather_axis.emplace_back(gather);
   }
+  std::vector<std::optional<std::uint64_t>> k_axis;
+  if (spec.agents.empty()) {
+    k_axis = kNoKOverride;
+  } else {
+    k_axis.reserve(spec.agents.size());
+    for (const auto k : spec.agents) k_axis.emplace_back(k);
+  }
   std::vector<SweepCell> cells;
   cells.reserve(spec.programs.size() * spec.scenarios.size() *
-                gather_axis.size() * spec.topologies.size() *
+                gather_axis.size() * k_axis.size() * spec.topologies.size() *
                 spec.sizes.size() * spec.seeds.size() * fault_axis.size());
   for (const auto& program : spec.programs)
     for (const auto& scenario_name : spec.scenarios)
-      for (const auto& gather : gather_axis) {
-        // Capability pruning: a mismatched (program, scenario) pair — or a
-        // complete-graph-only program on another family — expands to no
-        // cells, replacing the benches' old hand-maintained exclusion
-        // lists. A gather override is judged on the overridden scenario:
-        // an unreachable quorum (q > k) or a threshold above 2 on a
-        // rally-free program prunes the same way.
-        scenario::Scenario scen = scenario::find_scenario(scenario_name);
-        if (gather.has_value()) {
-          if (gather->kind == sim::Gathering::Quorum &&
-              gather->quorum > scen.num_agents)
+      for (const auto& gather : gather_axis)
+        for (const auto& k : k_axis) {
+          // Capability pruning: a mismatched (program, scenario) pair — or
+          // a complete-graph-only program on another family — expands to no
+          // cells, replacing the benches' old hand-maintained exclusion
+          // lists. Overrides are judged on the *overridden* scenario: the k
+          // override lands first, then an unreachable quorum (q > k), a
+          // threshold above 2 on a rally-free program, or k > 2 on a
+          // pairwise program prunes the same way. Adjacent-pair placements
+          // host exactly two agents, so any other k override prunes too.
+          scenario::Scenario scen = scenario::find_scenario(scenario_name);
+          if (k.has_value()) {
+            if (scen.placement == scenario::PlacementModel::AdjacentPair &&
+                *k != 2)
+              continue;
+            scen.num_agents = static_cast<std::size_t>(*k);
+          }
+          if (gather.has_value()) scen.gathering = *gather;
+          // An unreachable quorum — whether the quorum came from the
+          // gather override or the registration and k shrank under it —
+          // prunes rather than deterministically failing.
+          if (scen.gathering.kind == sim::Gathering::Quorum &&
+              scen.gathering.quorum > scen.num_agents)
             continue;
-          scen.gathering = *gather;
+          if (!scenario::compatible(program, scen)) continue;
+          for (const auto& topology : spec.topologies) {
+            if (program.def().caps.needs_complete_graph &&
+                topology.family != "complete")
+              continue;
+            for (const auto n : spec.sizes) {
+              // A graph cannot host more agents than vertices; the cell
+              // would deterministically fail placement, so prune it.
+              if (k.has_value() && *k > topology.achieved_n(n)) continue;
+              for (const auto seed : spec.seeds)
+                for (const auto& plan : fault_axis) {
+                  // A plan that only perturbs whiteboards cannot touch a
+                  // whiteboard-free model; skip the vacuous cell.
+                  if (plan.active() && plan.whiteboard_only() &&
+                      !program.def().model.whiteboards)
+                    continue;
+                  SweepCell cell;
+                  cell.index = cells.size();
+                  cell.program = program;
+                  cell.scenario = scenario_name;
+                  cell.topology = topology;
+                  cell.n = n;
+                  cell.achieved_n = topology.achieved_n(n);
+                  cell.seed = seed;
+                  cell.trials = spec.trials;
+                  cell.gather = gather;
+                  cell.k = k;
+                  cell.fault = plan;
+                  cells.push_back(std::move(cell));
+                }
+            }
+          }
         }
-        if (!scenario::compatible(program, scen)) continue;
-        for (const auto& topology : spec.topologies) {
-          if (program.def().caps.needs_complete_graph &&
-              topology.family != "complete")
-            continue;
-          for (const auto n : spec.sizes)
-            for (const auto seed : spec.seeds)
-              for (const auto& plan : fault_axis) {
-                // A plan that only perturbs whiteboards cannot touch a
-                // whiteboard-free model; skip the vacuous cell.
-                if (plan.active() && plan.whiteboard_only() &&
-                    !program.def().model.whiteboards)
-                  continue;
-                SweepCell cell;
-                cell.index = cells.size();
-                cell.program = program;
-                cell.scenario = scenario_name;
-                cell.topology = topology;
-                cell.n = n;
-                cell.achieved_n = topology.achieved_n(n);
-                cell.seed = seed;
-                cell.trials = spec.trials;
-                cell.gather = gather;
-                cell.fault = plan;
-                cells.push_back(std::move(cell));
-              }
-        }
-      }
   FNR_CHECK_MSG(!cells.empty(),
                 "sweep spec '" << spec.name
                                << "': capability masks leave no compatible "
@@ -441,6 +469,9 @@ SweepSpec parse_spec(const std::string& text) {
     } else if (key == "seeds") {
       for (const auto& token : split(value, ','))
         spec.seeds.push_back(parse_uint64(token, "sweep spec 'seeds'"));
+    } else if (key == "agents") {
+      for (const auto& token : split(value, ','))
+        spec.agents.push_back(parse_uint64(token, "sweep spec 'agents'"));
     } else if (key == "gathers") {
       for (const auto& token : split(value, ',')) {
         try {

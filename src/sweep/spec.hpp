@@ -18,6 +18,7 @@
 //   topologies = near-regular:deg=16, torus, hypercube
 //   sizes      = 1024, 16384, 131072     # requested n per topology
 //   seeds      = 1, 2                    # seed block (one grid axis each)
+//   agents     = 2, 8, 64                # optional agent-count (k) axis
 //   gathers    = any-pair, quorum?q=3    # optional gathering-predicate axis
 //   faults     = none, crash?rate=0.01   # optional fault-plan axis
 //
@@ -37,6 +38,15 @@
 // axis is optional; when absent, scenarios keep their registered predicate
 // and cell keys are byte-identical to specs written before the axis
 // existed (`|gather=...` appears in the key only for override cells).
+//
+// An `agents` value overrides each scenario's agent count k the way
+// `gathers` overrides its predicate: the override is part of cell identity
+// (`|k=<count>` in the key), and capability pruning judges the *overridden*
+// scenario — adjacent-pair placements host exactly k = 2, pairwise programs
+// prune at k > 2 (supports_multi_agent), and quorums larger than the
+// overridden k stay unreachable. The axis is optional; when absent,
+// scenarios keep their registered k and cell keys are byte-identical to
+// specs written before the axis existed.
 //
 // A topology token is `family` or `family:param=value:param=value`. A
 // program token is a registry label, optionally parameterized with a
@@ -117,6 +127,9 @@ struct SweepSpec {
   std::vector<TopologySpec> topologies;
   std::vector<std::uint64_t> sizes;  ///< requested n values, each <= 2^20
   std::vector<std::uint64_t> seeds;  ///< seed block; one grid axis entry each
+  /// Agent-count (k) axis. Empty ⇒ no override (each scenario keeps its
+  /// registered num_agents and cell keys carry no `|k=` segment).
+  std::vector<std::uint64_t> agents;
   /// Gathering-predicate axis. Empty ⇒ no override (each scenario keeps
   /// its registered predicate and the grid is byte-identical to specs
   /// written before the axis existed).
@@ -143,13 +156,17 @@ struct SweepCell {
   /// Gathering override from the `gathers` axis (absent on axis-free
   /// specs: the scenario's registered predicate applies).
   std::optional<sim::Gathering> gather;
+  /// Agent-count override from the `agents` axis (absent on axis-free
+  /// specs: the scenario's registered k applies).
+  std::optional<std::uint64_t> k;
   fault::FaultPlan fault;  ///< inactive on fault-free cells
 
   /// Canonical cell identity: completed cells are skipped by this key on
   /// resume, so it must never depend on runtime options (threads, shard).
-  /// Override cells append `|gather=<predicate>` and active-fault cells
-  /// `|fault=<plan key>`; plain cells keep the exact key they had before
-  /// either axis existed, so old checkpoints still resume.
+  /// Override cells append `|gather=<predicate>` and/or `|k=<count>`,
+  /// active-fault cells `|fault=<plan key>`; plain cells keep the exact
+  /// key they had before any of these axes existed, so old checkpoints
+  /// still resume.
   [[nodiscard]] std::string key() const;
 
   /// Graph-cache key: (family, params, n, seed). Cells that share a key
@@ -164,7 +181,7 @@ struct SweepCell {
 [[nodiscard]] sim::Gathering parse_gather(const std::string& token);
 
 /// Expands the spec into its canonical cell grid. Axis nesting, outermost
-/// first: program, scenario, gather, topology, size, seed, fault. Incompatible
+/// first: program, scenario, gather, k, topology, size, seed, fault. Incompatible
 /// (program, scenario) pairs, complete-graph-only programs off the
 /// `complete` family, and whiteboard-only fault plans on whiteboard-free
 /// models are skipped (see the file header); indices stay dense over the

@@ -6,13 +6,80 @@
 
 namespace fnr {
 
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char raw : text) {
+    const auto c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out.push_back(kHex[c >> 4]);
+          out.push_back(kHex[c & 0xF]);
+        } else {
+          out.push_back(raw);
+        }
+    }
+  }
+  return out;
+}
+
 std::string JsonCursor::parse_string() {
   expect('"');
   std::string out;
   while (p_ < end_ && *p_ != '"') {
-    FNR_CHECK_MSG(*p_ != '\\',
-                  context_ << ": escape sequences are not in the schema");
-    out.push_back(*p_++);
+    if (*p_ != '\\') {
+      out.push_back(*p_++);
+      continue;
+    }
+    ++p_;  // consume the backslash
+    FNR_CHECK_MSG(p_ < end_, context_ << ": dangling escape at end of input");
+    const char code = *p_++;
+    switch (code) {
+      case '"': out.push_back('"'); break;
+      case '\\': out.push_back('\\'); break;
+      case '/': out.push_back('/'); break;
+      case 'n': out.push_back('\n'); break;
+      case 'r': out.push_back('\r'); break;
+      case 't': out.push_back('\t'); break;
+      case 'b': out.push_back('\b'); break;
+      case 'f': out.push_back('\f'); break;
+      case 'u': {
+        // json_escape only emits \u00XX; anything above U+00FF would need
+        // UTF-16 surrogate handling, which is outside the schema.
+        FNR_CHECK_MSG(end_ - p_ >= 4,
+                      context_ << ": truncated \\u escape");
+        unsigned value = 0;
+        for (int i = 0; i < 4; ++i) {
+          const char h = *p_++;
+          unsigned digit = 0;
+          if (h >= '0' && h <= '9') digit = static_cast<unsigned>(h - '0');
+          else if (h >= 'a' && h <= 'f')
+            digit = static_cast<unsigned>(h - 'a') + 10;
+          else if (h >= 'A' && h <= 'F')
+            digit = static_cast<unsigned>(h - 'A') + 10;
+          else
+            FNR_CHECK_MSG(false, context_ << ": bad \\u escape digit '" << h
+                                          << "'");
+          value = value * 16 + digit;
+        }
+        FNR_CHECK_MSG(value <= 0xFF,
+                      context_ << ": \\u escapes above U+00FF are not in "
+                                  "the schema");
+        out.push_back(static_cast<char>(value));
+        break;
+      }
+      default:
+        FNR_CHECK_MSG(false, context_ << ": unsupported escape '\\" << code
+                                      << "'");
+    }
   }
   expect('"');
   return out;

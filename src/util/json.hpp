@@ -1,18 +1,30 @@
-// Minimal recursive-descent cursor over the JSON subset our reports emit
-// (objects, arrays, unescaped strings, plain numbers, booleans).
+// Minimal recursive-descent cursor over the JSON subset our artifacts use
+// (objects, arrays, strings with the simple escapes, plain numbers,
+// booleans).
 //
-// This is deliberately not a general JSON library: the perf suite and the
-// sweep engine both emit a fixed schema and parse only their own output, so
-// the cursor rejects anything outside that subset (escape sequences, etc.)
-// instead of silently accepting it. Shared by src/perf/ and src/sweep/.
+// This is deliberately not a general JSON library: the perf suite, the
+// sweep engine, and the fnrd wire protocol all emit fixed schemas and parse
+// only each other's output, so the cursor rejects anything outside that
+// subset instead of silently accepting it. Report/checkpoint emitters stay
+// inside the historical no-escape subset (their bytes are pinned by the
+// resume contract); the wire protocol carries arbitrary text (spec files,
+// error messages) through json_escape, whose escapes parse_string decodes.
+// Shared by src/perf/, src/sweep/, src/campaign/, and src/service/.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "util/check.hpp"
 
 namespace fnr {
+
+/// Escapes `text` for embedding inside a JSON string literal: quote,
+/// backslash, and the common control characters get two-character escapes,
+/// any other byte below 0x20 becomes \u00XX. The inverse of what
+/// JsonCursor::parse_string decodes.
+[[nodiscard]] std::string json_escape(std::string_view text);
 
 class JsonCursor {
  public:

@@ -1,0 +1,183 @@
+// Framing-layer contract tests: length-prefix round-trips under arbitrary
+// partial reads and short writes, plus the malformed-input battery
+// (truncated prefixes, oversized and zero-length frames, deterministic
+// garbage fuzz) — a reader fed hostile bytes must throw, never crash or
+// resynchronize silently.
+#include "net/framing.hpp"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace fnr::net {
+namespace {
+
+TEST(Framing, EncodesBigEndianPrefix) {
+  const std::string frame = encode_frame("abc");
+  ASSERT_EQ(frame.size(), kFramePrefixSize + 3);
+  EXPECT_EQ(frame[0], '\0');
+  EXPECT_EQ(frame[1], '\0');
+  EXPECT_EQ(frame[2], '\0');
+  EXPECT_EQ(frame[3], '\x03');
+  EXPECT_EQ(frame.substr(4), "abc");
+}
+
+TEST(Framing, RejectsEmptyAndOversizedPayloadsAtEncode) {
+  EXPECT_THROW((void)encode_frame(""), CheckError);
+  EXPECT_THROW((void)encode_frame(std::string(17, 'x'), /*max_frame=*/16),
+               CheckError);
+  EXPECT_NO_THROW((void)encode_frame(std::string(16, 'x'), /*max_frame=*/16));
+}
+
+TEST(Framing, RoundTripsOneFrame) {
+  const std::string frame = encode_frame("{\"verb\":\"status\"}");
+  FrameReader reader;
+  reader.feed(frame.data(), frame.size());
+  std::string payload;
+  ASSERT_TRUE(reader.next(&payload));
+  EXPECT_EQ(payload, "{\"verb\":\"status\"}");
+  EXPECT_FALSE(reader.next(&payload));
+  EXPECT_FALSE(reader.mid_frame());
+}
+
+TEST(Framing, DecodesByteByByteFeeds) {
+  // The harshest partial-read schedule: every recv() returns one byte.
+  const std::string wire =
+      encode_frame("first") + encode_frame("second") + encode_frame("third");
+  FrameReader reader;
+  std::vector<std::string> payloads;
+  for (const char byte : wire) {
+    reader.feed(&byte, 1);
+    std::string payload;
+    while (reader.next(&payload)) payloads.push_back(payload);
+  }
+  EXPECT_EQ(payloads,
+            (std::vector<std::string>{"first", "second", "third"}));
+  EXPECT_FALSE(reader.mid_frame());
+}
+
+TEST(Framing, DecodesAcrossEveryPossibleSplitPoint) {
+  const std::string wire = encode_frame("alpha") + encode_frame("bravo");
+  for (std::size_t split = 0; split <= wire.size(); ++split) {
+    FrameReader reader;
+    reader.feed(wire.data(), split);
+    std::vector<std::string> payloads;
+    std::string payload;
+    while (reader.next(&payload)) payloads.push_back(payload);
+    reader.feed(wire.data() + split, wire.size() - split);
+    while (reader.next(&payload)) payloads.push_back(payload);
+    ASSERT_EQ(payloads, (std::vector<std::string>{"alpha", "bravo"}))
+        << "split at byte " << split;
+  }
+}
+
+TEST(Framing, TruncatedPrefixOrPayloadStaysPendingNotCorrupt) {
+  const std::string frame = encode_frame("payload");
+  // Truncated length prefix: no frame yet, state reported as mid-frame.
+  FrameReader prefix_reader;
+  prefix_reader.feed(frame.data(), 2);
+  std::string payload;
+  EXPECT_FALSE(prefix_reader.next(&payload));
+  EXPECT_TRUE(prefix_reader.mid_frame());
+  // Truncated payload: same.
+  FrameReader payload_reader;
+  payload_reader.feed(frame.data(), frame.size() - 1);
+  EXPECT_FALSE(payload_reader.next(&payload));
+  EXPECT_TRUE(payload_reader.mid_frame());
+}
+
+TEST(Framing, RejectsZeroLengthAndOversizedPrefixes) {
+  FrameReader zero_reader;
+  const char zeros[kFramePrefixSize] = {0, 0, 0, 0};
+  zero_reader.feed(zeros, sizeof(zeros));
+  std::string payload;
+  EXPECT_THROW((void)zero_reader.next(&payload), CheckError);
+
+  // A hostile 256 MiB length must be rejected from the prefix alone —
+  // before any payload bytes arrive or get buffered.
+  FrameReader big_reader(/*max_frame=*/1024);
+  const char huge[kFramePrefixSize] = {'\x10', 0, 0, 0};
+  big_reader.feed(huge, sizeof(huge));
+  EXPECT_THROW((void)big_reader.next(&payload), CheckError);
+}
+
+TEST(Framing, DeterministicGarbageFuzzNeverCrashes) {
+  // Random byte soup must either decode (when the random prefix happens to
+  // be small enough), stay pending, or throw CheckError — never crash.
+  Rng rng(2026, 808);
+  for (int round = 0; round < 256; ++round) {
+    FrameReader reader(/*max_frame=*/4096);
+    std::string payload;
+    try {
+      for (int chunk = 0; chunk < 8; ++chunk) {
+        std::string bytes(rng.below(64) + 1, '\0');
+        for (auto& b : bytes) b = static_cast<char>(rng.below(256));
+        reader.feed(bytes.data(), bytes.size());
+        while (reader.next(&payload)) {
+          ASSERT_FALSE(payload.empty());
+          ASSERT_LE(payload.size(), 4096u);
+        }
+      }
+    } catch (const CheckError&) {
+      // Poisoned reader: the serving loop drops the connection here.
+    }
+  }
+}
+
+TEST(Framing, WriterHandlesShortWritesOneByteAtATime) {
+  FrameWriter writer;
+  writer.enqueue("hello");
+  writer.enqueue("world");
+  const std::size_t total = writer.pending_bytes();
+  EXPECT_EQ(total, 2 * (kFramePrefixSize + 5));
+
+  std::string sink;
+  // A sink that accepts exactly one byte per call — the worst short-write
+  // schedule a non-blocking socket can produce.
+  ASSERT_TRUE(writer.flush_with([&](const char* data, std::size_t) -> long {
+    sink.push_back(*data);
+    return 1;
+  }));
+  EXPECT_TRUE(writer.idle());
+
+  FrameReader reader;
+  reader.feed(sink.data(), sink.size());
+  std::string payload;
+  ASSERT_TRUE(reader.next(&payload));
+  EXPECT_EQ(payload, "hello");
+  ASSERT_TRUE(reader.next(&payload));
+  EXPECT_EQ(payload, "world");
+}
+
+TEST(Framing, WriterKeepsBytesPendingOnWouldBlockAndFailsOnError) {
+  FrameWriter writer;
+  writer.enqueue("payload");
+  const std::size_t pending = writer.pending_bytes();
+
+  // Would-block: flush succeeds, nothing consumed.
+  ASSERT_TRUE(writer.flush_with([](const char*, std::size_t) -> long {
+    return 0;
+  }));
+  EXPECT_EQ(writer.pending_bytes(), pending);
+
+  // Partial write then would-block: remainder stays pending.
+  bool first = true;
+  ASSERT_TRUE(writer.flush_with([&](const char*, std::size_t) -> long {
+    if (!first) return 0;
+    first = false;
+    return 3;
+  }));
+  EXPECT_EQ(writer.pending_bytes(), pending - 3);
+
+  // Hard error: flush reports failure.
+  EXPECT_FALSE(writer.flush_with([](const char*, std::size_t) -> long {
+    return -1;
+  }));
+}
+
+}  // namespace
+}  // namespace fnr::net

@@ -92,6 +92,81 @@ TEST(SweepSpec, GatherAxisParsesPrunesAndKeysCells) {
                CheckError);
 }
 
+TEST(SweepSpec, AgentsAxisParsesPrunesAndKeysCells) {
+  // The `agents` axis crosses agent-count overrides into the grid, keyed
+  // like gather overrides so checkpoints distinguish the columns. k = 20
+  // exceeds ring's achieved n of 16, so that column prunes.
+  const SweepSpec spec = parse_spec(
+      "name       = k-axis\n"
+      "trials     = 1\n"
+      "programs   = explore-rally\n"
+      "scenarios  = swarm-gather\n"
+      "topologies = ring\n"
+      "sizes      = 16\n"
+      "seeds      = 1\n"
+      "agents     = 2, 6, 20\n");
+  ASSERT_EQ(spec.agents, (std::vector<std::uint64_t>{2, 6, 20}));
+  const auto cells = expand(spec);
+  ASSERT_EQ(cells.size(), 2u);
+  std::set<std::string> keys;
+  for (const auto& cell : cells) {
+    ASSERT_TRUE(cell.k.has_value());
+    EXPECT_NE(cell.key().find("|k=" + std::to_string(*cell.k)),
+              std::string::npos)
+        << cell.key();
+    keys.insert(cell.key());
+  }
+  EXPECT_EQ(keys.size(), cells.size());  // overrides keep keys distinct
+
+  // Out-of-range agent counts fail at validation, not expansion.
+  EXPECT_THROW((void)parse_spec(
+                   "name = k\ntrials = 1\nprograms = explore-rally\n"
+                   "scenarios = swarm-gather\ntopologies = ring\n"
+                   "sizes = 16\nseeds = 1\nagents = 1\n"),
+               CheckError);
+}
+
+TEST(SweepSpec, AgentsAxisPrunesByScenarioCapability) {
+  // sync-pair places an AdjacentPair: only k = 2 is meaningful, so the
+  // k = 5 column expands to no cells rather than to broken ones.
+  const auto pair_cells = expand(parse_spec(
+      "name       = k-pair\n"
+      "trials     = 1\n"
+      "programs   = whiteboard\n"
+      "scenarios  = sync-pair\n"
+      "topologies = ring\n"
+      "sizes      = 16\n"
+      "seeds      = 1\n"
+      "agents     = 2, 5\n"));
+  ASSERT_EQ(pair_cells.size(), 1u);
+  EXPECT_EQ(pair_cells[0].k, std::uint64_t{2});
+
+  // swarm-quorum registers quorum_of(4): shrinking k below the registered
+  // quorum would make the cell deterministically unsatisfiable, so k = 3
+  // prunes while k = 4 survives.
+  const auto quorum_cells = expand(parse_spec(
+      "name       = k-quorum\n"
+      "trials     = 1\n"
+      "programs   = explore-rally\n"
+      "scenarios  = swarm-quorum\n"
+      "topologies = ring\n"
+      "sizes      = 16\n"
+      "seeds      = 1\n"
+      "agents     = 3, 4\n"));
+  ASSERT_EQ(quorum_cells.size(), 1u);
+  EXPECT_EQ(quorum_cells[0].k, std::uint64_t{4});
+}
+
+TEST(SweepSpec, SpecsWithoutAgentsAxisKeepTheirHistoricalKeys) {
+  // Adding the axis must not perturb existing grids: without an `agents`
+  // line no cell carries a k override or a "|k=" key token, so old
+  // checkpoints keep resolving.
+  for (const auto& cell : expand(parse_spec(kTinySpec))) {
+    EXPECT_FALSE(cell.k.has_value());
+    EXPECT_EQ(cell.key().find("|k="), std::string::npos) << cell.key();
+  }
+}
+
 TEST(SweepSpec, RejectsUnknownKeysProgramsAndFamilies) {
   EXPECT_THROW((void)parse_spec("bogus = 1"), CheckError);
   EXPECT_THROW((void)parse_spec("programs = quantum-walk\n"
