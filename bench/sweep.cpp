@@ -29,7 +29,14 @@
 //                      sweep_<spec>[_shardI-OF].json; empty skips; only
 //                      written when the (shard's) campaign is complete
 //   --trials=N         override the spec's per-cell trial count
-//   --threads=N        trial-runner pool size (0 = hardware threads)
+//   --jobs=N           concurrent cells (executor worker pool; default 1,
+//                      0 = hardware threads). Checkpoints, callbacks, and
+//                      merged JSON are byte-identical for every value —
+//                      results flush in canonical grid order regardless
+//                      of completion order
+//   --threads=N        trial-runner pool size *within* one cell
+//                      (0 = hardware threads at --jobs=1, 1 at --jobs>1;
+//                      see docs/PERFORMANCE.md before setting both)
 //   --batch=N          lock-step SoA batch size (0/1 = scalar path); the
 //                      kernel is bit-exact, so merged JSON is byte-identical
 //                      either way (faulty cells always run scalar)
@@ -121,6 +128,9 @@ int main(int argc, char** argv) {
     const auto threads = cli.get_int("threads", 0);
     FNR_CHECK_MSG(threads >= 0 && threads <= 4096,
                   "--threads must be in [0, 4096], got " << threads);
+    const auto jobs = cli.get_int("jobs", 1);
+    FNR_CHECK_MSG(jobs >= 0 && jobs <= 4096,
+                  "--jobs must be in [0, 4096], got " << jobs);
     const auto batch = cli.get_int("batch", 0);
     FNR_CHECK_MSG(batch >= 0 && batch <= 1'000'000,
                   "--batch must be in [0, 1e6], got " << batch);
@@ -152,6 +162,7 @@ int main(int argc, char** argv) {
 
     sweep::SweepOptions options;
     options.threads = static_cast<unsigned>(threads);
+    options.jobs = static_cast<unsigned>(jobs);
     parse_shard(shard_arg, &options);
     options.resume = resume;
     options.max_cells = static_cast<std::uint64_t>(max_cells);
@@ -195,9 +206,13 @@ int main(int argc, char** argv) {
     g_active.store(nullptr, std::memory_order_relaxed);
     std::cout << "sweep '" << spec.name << "' shard " << options.shard_index
               << "/" << options.shard_count << ": " << result.executed
-              << " executed, " << result.restored << " restored, graph cache "
+              << " executed (" << options.jobs << " jobs, "
+              << result.split_cells << " split, " << result.shards
+              << " units), " << result.restored << " restored, "
+              << result.discarded << " discarded, graph cache "
               << result.graph_cache_hits << " hits / "
-              << result.graph_cache_misses << " misses\n";
+              << result.graph_cache_misses << " misses / "
+              << result.graph_cache_evictions << " evictions\n";
 
     if (result.cancelled && g_signal != 0) {
       std::cout << "interrupted by signal " << g_signal

@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
 # Tier-1 verify: configure, build, run the full test suite.
 #
-# Usage: scripts/ci.sh [build-dir] [--sanitize] [extra cmake args...]
+# Usage: scripts/ci.sh [build-dir] [--sanitize[=thread]] [extra cmake args...]
 #   scripts/ci.sh                         # plain build + ctest in ./build
 #   scripts/ci.sh build-asan --sanitize   # ASan/UBSan build + ctest
+#   scripts/ci.sh build-tsan --sanitize=thread
+#                                         # TSan build + the concurrency
+#                                         # battery (executor / campaign /
+#                                         # service tests, --jobs=4 smoke)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -21,6 +25,9 @@ for arg in "$@"; do
   if [[ "$arg" == "--sanitize" ]]; then
     CMAKE_ARGS+=(-DFNR_SANITIZE=ON)
     SANITIZE=1
+  elif [[ "$arg" == "--sanitize=thread" ]]; then
+    CMAKE_ARGS+=(-DFNR_SANITIZE=thread)
+    SANITIZE=thread
   else
     CMAKE_ARGS+=("$arg")
   fi
@@ -31,6 +38,23 @@ ROOT=$(pwd)
 cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]+"${CMAKE_ARGS[@]}"}"
 cmake --build "$BUILD_DIR" -j
 cd "$BUILD_DIR"
+
+# ThreadSanitizer leg: instrumentation is 5-15x, so it runs exactly the
+# concurrency surface — the executor / campaign / service test batteries
+# plus a --jobs=4 campaign smoke (worker pool, shard splits, shared graph
+# cache, reorder buffer all live under TSan) — and skips the perf and
+# byte-identity sections the plain leg covers.
+if [[ "$SANITIZE" == thread ]]; then
+  ctest --output-on-failure -j \
+        -R 'test_(executor|campaign|sweep|fnrd_service|service_protocol|trial_runner)'
+  rm -f tsan_j1.json tsan_j4.json
+  ./sweep --spec=smoke --checkpoint= --out=tsan_j1.json --quiet
+  ./sweep --spec=smoke --checkpoint= --out=tsan_j4.json --jobs=4 --quiet
+  diff tsan_j1.json tsan_j4.json
+  echo "tsan: executor/campaign/service battery clean"
+  exit 0
+fi
+
 ctest --output-on-failure -j
 
 # Perf-suite smoke: quick cells + schema validation. Timings are
@@ -64,6 +88,49 @@ rm -f sweep_ci_a.jsonl sweep_ci_b.jsonl sweep_ci_a.json sweep_ci_b.json
 ./sweep --spec=smoke --checkpoint=sweep_ci_b.jsonl --out=sweep_ci_b.json \
         --threads=1 --resume --quiet
 diff sweep_ci_a.json sweep_ci_b.json
+
+# Executor byte-identity: the same campaign at --jobs=4 (work-stealing
+# cell pool) must emit byte-identical merged JSON AND byte-identical
+# checkpoint lines — modulo the informational "seconds" field, the only
+# wall-clock that reaches a checkpoint — to the sequential run above.
+# Completion order is staged through the reorder buffer, so the pool size
+# is invisible in every artifact.
+rm -f sweep_ci_j4.jsonl sweep_ci_j4.json
+./sweep --spec=smoke --checkpoint=sweep_ci_j4.jsonl --out=sweep_ci_j4.json \
+        --jobs=4 --quiet
+diff sweep_ci_a.json sweep_ci_j4.json
+diff <(sed 's/,"seconds":[^,}]*//' sweep_ci_a.jsonl) \
+     <(sed 's/,"seconds":[^,}]*//' sweep_ci_j4.jsonl)
+
+# Real kill -9 mid-parallel-run: a heterogeneous grid (16x size spread,
+# scan-heavy near-regular against cheap torus) big enough that the kill
+# lands mid-campaign; resumed at --jobs=4 it must rebuild the exact
+# --jobs=1 bytes. Growing delays walk the kill point across the run; a
+# kill that lands after completion still exercises resume-on-complete.
+cat > sweep_ci_kill.spec <<'SPEC'
+name       = ci-kill
+trials     = 64
+programs   = whiteboard, random-walk
+scenarios  = sync-pair
+topologies = near-regular:deg=32, torus
+sizes      = 1024, 16384
+seeds      = 1
+SPEC
+rm -f kill_ref.json kill_j4.json
+./sweep --spec=sweep_ci_kill.spec --checkpoint= --out=kill_ref.json --quiet
+for i in 1 2 3; do
+  rm -f kill_run.json kill_run.jsonl
+  ./sweep --spec=sweep_ci_kill.spec --checkpoint=kill_run.jsonl \
+          --out=kill_run.json --jobs=4 --quiet &
+  SWEEP_PID=$!
+  sleep "0.$((15 * i))"
+  kill -9 "$SWEEP_PID" 2>/dev/null || true
+  wait "$SWEEP_PID" 2>/dev/null || true
+  ./sweep --spec=sweep_ci_kill.spec --checkpoint=kill_run.jsonl \
+          --out=kill_run.json --jobs=4 --resume --quiet
+  diff kill_ref.json kill_run.json
+done
+echo "executor smoke: --jobs=4 byte-identical (merged, checkpoint, kill -9 + resume)"
 
 # Registry smoke: every registered program runs one tiny trial on every
 # compatible scenario (the registry-smoke spec's wildcard axes resolve
@@ -122,7 +189,7 @@ cleanup_fnrd() {
 trap cleanup_fnrd EXIT
 start_fnrd() {
   ./fnrd --socket="$FNRD_SOCK" --workdir="$FNRD_DIR" --workers=2 \
-         --threads=2 --quiet &
+         --threads=2 --quiet "$@" &
   FNRD_PID=$!
   for _ in $(seq 1 100); do
     ./fnrc --socket="$FNRD_SOCK" --verb=status >/dev/null 2>&1 && return 0
@@ -169,3 +236,37 @@ kill "$FNRD_PID"
 wait "$FNRD_PID" 2>/dev/null || true
 FNRD_PID=0
 echo "fnrd smoke: daemon reports byte-identical to the batch surface"
+
+# Service parallel identity: a daemon running campaigns at --jobs=4 must
+# stream the exact frame sequence of a sequential daemon — cell frames
+# append to the replay log in the executor's canonical flush order, so a
+# streaming client cannot tell the pool sizes apart. Fresh workdirs per
+# daemon keep the campaigns independent.
+rm -rf "$FNRD_DIR"
+mkdir "$FNRD_DIR"
+start_fnrd
+./fnrc --socket="$FNRD_SOCK" --verb=submit --campaign=ci-j --spec=smoke
+./fnrc --socket="$FNRD_SOCK" --verb=stream --campaign=ci-j \
+       > fnrd_frames_j1.txt
+./fnrc --socket="$FNRD_SOCK" --verb=report --campaign=ci-j --raw \
+       > fnrd_ci_j1.json
+kill "$FNRD_PID"
+wait "$FNRD_PID" 2>/dev/null || true
+FNRD_PID=0
+
+rm -rf "$FNRD_DIR"
+mkdir "$FNRD_DIR"
+start_fnrd --jobs=4
+./fnrc --socket="$FNRD_SOCK" --verb=submit --campaign=ci-j --spec=smoke
+./fnrc --socket="$FNRD_SOCK" --verb=stream --campaign=ci-j \
+       > fnrd_frames_j4.txt
+./fnrc --socket="$FNRD_SOCK" --verb=report --campaign=ci-j --raw \
+       > fnrd_ci_j4.json
+kill "$FNRD_PID"
+wait "$FNRD_PID" 2>/dev/null || true
+FNRD_PID=0
+
+diff fnrd_frames_j1.txt fnrd_frames_j4.txt
+diff fnrd_ci_j1.json fnrd_ci_j4.json
+diff sweep_ci_a.json fnrd_ci_j4.json
+echo "fnrd smoke: --jobs=4 daemon frames byte-identical to sequential"

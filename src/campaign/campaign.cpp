@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "campaign/executor.hpp"
 #include "runner/trial_runner.hpp"
 #include "scenario/run.hpp"
 #include "util/json.hpp"
@@ -26,28 +27,89 @@ GraphCache::GraphCache(std::size_t capacity)
     : capacity_(std::max<std::size_t>(1, capacity)) {}
 
 const graph::Graph& GraphCache::get(const SweepCell& cell) {
+  // The cache's own entry keeps the graph alive after the temporary
+  // shared_ptr dies — same lifetime the reference always had (valid until
+  // eviction). Concurrent callers must use get_shared() and hold the pin.
+  return *get_shared(cell);
+}
+
+std::shared_ptr<const graph::Graph> GraphCache::get_shared(
+    const SweepCell& cell) {
   const std::string key = cell.graph_key();
-  ++tick_;
-  for (auto& entry : entries_) {
-    if (entry.key == key) {
-      entry.last_used = tick_;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    auto it = std::find_if(entries_.begin(), entries_.end(),
+                           [&](const Entry& e) { return e.key == key; });
+    if (it == entries_.end()) break;
+    if (it->graph != nullptr) {
+      it->last_used = ++tick_;
       ++hits_;
-      return *entry.graph;
+      return it->graph;
     }
+    // Another worker is generating this key: wait for publication, then
+    // rescan (the generator may have failed and withdrawn the entry).
+    published_.wait(lock);
   }
   ++misses_;
-  if (entries_.size() >= capacity_) {
-    const auto lru = std::min_element(
-        entries_.begin(), entries_.end(),
-        [](const Entry& a, const Entry& b) { return a.last_used < b.last_used; });
+  // Evict published LRU entries while at capacity. In-flight entries are
+  // never evicted; if everything resident is in flight, temporarily
+  // exceed capacity rather than block (capacity is a memory hint).
+  while (entries_.size() >= capacity_) {
+    auto lru = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it)
+      if (it->graph != nullptr &&
+          (lru == entries_.end() || it->last_used < lru->last_used))
+        lru = it;
+    if (lru == entries_.end()) break;
     entries_.erase(lru);
+    ++evictions_;
   }
-  entries_.push_back(Entry{
-      key,
-      std::make_unique<graph::Graph>(
-          cell.topology.build(cell.n, cell.seed)),
-      tick_});
-  return *entries_.back().graph;
+  entries_.push_back(Entry{key, nullptr, ++tick_});
+  lock.unlock();
+
+  std::shared_ptr<const graph::Graph> built;
+  try {
+    built = std::make_shared<graph::Graph>(
+        cell.topology.build(cell.n, cell.seed));
+  } catch (...) {
+    // Withdraw the in-flight marker so waiters retry (and rethrow the
+    // same deterministic error themselves).
+    lock.lock();
+    entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                  [&](const Entry& e) {
+                                    return e.key == key && e.graph == nullptr;
+                                  }),
+                   entries_.end());
+    published_.notify_all();
+    throw;
+  }
+
+  lock.lock();
+  const auto it = std::find_if(
+      entries_.begin(), entries_.end(), [&](const Entry& e) {
+        return e.key == key && e.graph == nullptr;
+      });
+  FNR_CHECK_MSG(it != entries_.end(),
+                "graph cache: in-flight entry for '" << key << "' vanished");
+  it->graph = built;
+  it->last_used = ++tick_;
+  published_.notify_all();
+  return built;
+}
+
+std::uint64_t GraphCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t GraphCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+std::uint64_t GraphCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
 }
 
 // --- checkpoints -------------------------------------------------------------
@@ -196,42 +258,6 @@ std::vector<CellResult> results_from_checkpoints(
 
 // --- execution ---------------------------------------------------------------
 
-namespace {
-
-CellResult execute_cell(const SweepCell& cell, GraphCache& cache,
-                        const runner::TrialRunner& trial_runner,
-                        std::uint64_t batch) {
-  CellResult result;
-  result.cell = cell;
-  const auto start = std::chrono::steady_clock::now();
-  try {
-    const graph::Graph& g = cache.get(cell);
-    scenario::Scenario scen = scenario::find_scenario(cell.scenario);
-    // Axis overrides run the registered scenario with fields swapped
-    // (expand() already pruned overrides the scenario cannot host): the
-    // `agents` axis replaces k, the `gathers` axis the predicate.
-    if (cell.k.has_value()) scen.num_agents = *cell.k;
-    if (cell.gather.has_value()) scen.gathering = *cell.gather;
-    scenario::ScenarioOptions options;
-    options.seed = cell.seed;
-    options.fault = cell.fault;
-    const auto acc = scenario::run_scenario_trials(
-        scen, cell.program, g, options, cell.trials, trial_runner, batch);
-    result.agg_json = acc.aggregate().to_json();
-  } catch (const CheckError& error) {
-    // A cell that cannot run (e.g. no-whiteboard on a graph with isolated
-    // vertices) is a deterministic property of its key: record it and let
-    // the campaign continue instead of losing every other cell.
-    result.ok = false;
-    result.error = error.what();
-  }
-  const auto stop = std::chrono::steady_clock::now();
-  result.seconds = std::chrono::duration<double>(stop - start).count();
-  return result;
-}
-
-}  // namespace
-
 Campaign::Campaign(SweepSpec spec, CampaignOptions options)
     : spec_(std::move(spec)), options_(std::move(options)) {
   FNR_CHECK_MSG(options_.shard_count >= 1 &&
@@ -282,41 +308,46 @@ CampaignRun Campaign::run(const CellCallback& on_cell) {
                                          << "' for writing");
   }
 
-  // Execute grouped by graph key (then canonical order within a group) so
-  // repeated cells on one generated topology hit the cache back to back.
-  std::vector<std::size_t> order(cells_.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::stable_sort(order.begin(), order.end(),
-                   [&](std::size_t a, std::size_t b) {
-                     return cells_[a].graph_key() < cells_[b].graph_key();
-                   });
-
-  const runner::TrialRunner trial_runner(
-      runner::RunnerOptions{options_.threads});
-  GraphCache cache(options_.graph_cache_capacity);
-
   CampaignRun result;
   std::vector<CellResult> staged(cells_.size());
   std::vector<char> have(cells_.size(), 0);
-  for (const std::size_t slot : order) {
+
+  // Restored cells replay first, in canonical grid order — always before
+  // any newly-run cell's result flushes, whatever the jobs count (the
+  // resume + --jobs contract: a streaming client sees the full replay
+  // prefix, then live results, in one canonical sequence).
+  std::vector<SweepCell> pending;
+  std::vector<std::size_t> pending_slots;
+  for (std::size_t slot = 0; slot < cells_.size(); ++slot) {
     const SweepCell& cell = cells_[slot];
-    const std::string key = cell.key();
-    if (const auto it = done.find(key); it != done.end()) {
+    if (const auto it = done.find(cell.key()); it != done.end()) {
       staged[slot] = restored_result(cell, it->second);
       have[slot] = 1;
       ++result.restored;
       if (on_cell) on_cell(staged[slot]);
-      continue;
+    } else {
+      pending.push_back(cell);
+      pending_slots.push_back(slot);
     }
-    if (cancel_requested()) {
-      // The cancelation boundary is between cells: the previous cell's
-      // checkpoint line is flushed, nothing is torn, resume is exact.
-      result.cancelled = true;
-      break;
-    }
-    if (options_.max_cells > 0 && result.executed >= options_.max_cells)
-      continue;  // "killed" mid-campaign: later cells stay unfinished
-    staged[slot] = execute_cell(cell, cache, trial_runner, options_.batch);
+  }
+
+  // The executor runs the rest (inline at jobs == 1, on a worker pool
+  // above) and emits finished results on this thread in exactly the
+  // pending order — the contiguous canonical prefix. Checkpoint writes,
+  // progress lines, and the callback all happen here, serialized.
+  ExecutorOptions eopts;
+  eopts.jobs = options_.jobs;
+  eopts.trial_threads = options_.threads;
+  eopts.batch = options_.batch;
+  eopts.min_shard_trials = options_.min_shard_trials;
+  eopts.max_cells = options_.max_cells;
+  eopts.graph_cache_capacity = options_.graph_cache_capacity;
+  CellExecutor executor(eopts);
+
+  std::size_t emitted = 0;
+  const auto emit = [&](CellResult&& cell_result) {
+    const std::size_t slot = pending_slots[emitted++];
+    staged[slot] = std::move(cell_result);
     have[slot] = 1;
     ++result.executed;
     if (checkpoint.is_open()) {
@@ -328,19 +359,27 @@ CampaignRun Campaign::run(const CellCallback& on_cell) {
     if (options_.progress != nullptr) {
       const auto& r = staged[slot];
       *options_.progress << "[" << (result.executed + result.restored) << "/"
-                         << cells_.size() << "] " << key << " — "
+                         << cells_.size() << "] " << r.cell.key() << " — "
                          << (r.ok ? "ok" : "FAILED") << " ("
                          << format_double(r.seconds, 3) << "s)\n";
     }
     if (on_cell) on_cell(staged[slot]);
-  }
+  };
+
+  const ExecutorStats stats = executor.run(pending, emit, cancel_);
   if (cancel_requested()) result.cancelled = true;
+
+  result.discarded = stats.discarded;
+  result.split_cells = stats.split_cells;
+  result.shards = stats.shards;
+  result.total_rounds = stats.total_rounds;
+  result.graph_cache_hits = stats.cache_hits;
+  result.graph_cache_misses = stats.cache_misses;
+  result.graph_cache_evictions = stats.cache_evictions;
 
   for (std::size_t i = 0; i < staged.size(); ++i)
     if (have[i]) result.cells.push_back(std::move(staged[i]));
   result.complete = result.cells.size() == cells_.size();
-  result.graph_cache_hits = cache.hits();
-  result.graph_cache_misses = cache.misses();
   return result;
 }
 
@@ -431,6 +470,60 @@ runner::TrialAggregate parse_agg_json(const std::string& json) {
 
 }  // namespace
 
+namespace {
+
+/// The canonical graph-cache workload of a spec: an LRU simulation over
+/// the full grid in canonical cell order at the default capacity. A pure
+/// function of the spec text — never of this run's jobs count, shard,
+/// resume point, or configured capacity — so the merged report's "cache"
+/// block cannot break the byte-identity contract (the *live* counters,
+/// which resume and sharding legitimately perturb, are reported in
+/// CampaignRun instead and pinned against this block by the hammer test
+/// for fresh, unsharded, default-capacity runs).
+struct CacheWorkload {
+  std::uint64_t lookups = 0;
+  std::uint64_t graph_keys = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+};
+
+CacheWorkload simulate_cache_workload(const SweepSpec& spec) {
+  CacheWorkload load;
+  struct Slot {
+    std::string key;
+    std::uint64_t last_used = 0;
+  };
+  std::vector<Slot> slots;
+  std::map<std::string, char> seen;
+  std::uint64_t tick = 0;
+  for (const auto& cell : sweep::expand(spec)) {
+    const std::string key = cell.graph_key();
+    ++load.lookups;
+    ++tick;
+    if (seen.emplace(key, 1).second) ++load.graph_keys;
+    const auto it = std::find_if(slots.begin(), slots.end(),
+                                 [&](const Slot& s) { return s.key == key; });
+    if (it != slots.end()) {
+      it->last_used = tick;
+      ++load.hits;
+      continue;
+    }
+    ++load.misses;
+    if (slots.size() >= kDefaultGraphCacheCapacity) {
+      slots.erase(std::min_element(slots.begin(), slots.end(),
+                                   [](const Slot& a, const Slot& b) {
+                                     return a.last_used < b.last_used;
+                                   }));
+      ++load.evictions;
+    }
+    slots.push_back(Slot{key, tick});
+  }
+  return load;
+}
+
+}  // namespace
+
 std::string to_json(const SweepSpec& spec,
                     const std::vector<CellResult>& cells) {
   std::vector<const CellResult*> ordered;
@@ -449,9 +542,13 @@ std::string to_json(const SweepSpec& spec,
   for (const CellResult* r : ordered)
     if (r->ok && !r->cell.fault.active()) fault_free[r->cell.key()] = r;
   std::ostringstream os;
+  const CacheWorkload cache = simulate_cache_workload(spec);
   os << "{\n"
      << "  \"schema\": \"" << sweep_schema_tag() << "\",\n"
      << "  \"spec\": \"" << json_safe(spec.name) << "\",\n"
+     << "  \"cache\": {\"lookups\":" << cache.lookups << ",\"graph_keys\":"
+     << cache.graph_keys << ",\"hits\":" << cache.hits << ",\"misses\":"
+     << cache.misses << ",\"evictions\":" << cache.evictions << "},\n"
      << "  \"cells\": [\n";
   for (std::size_t i = 0; i < ordered.size(); ++i) {
     const CellResult& r = *ordered[i];

@@ -12,10 +12,13 @@
 // Execution model. expand(spec) defines the canonical grid; a shard owns
 // the cells with index % shard_count == shard_index, so any number of
 // worker processes can split a campaign without coordination. Within a
-// shard, cells are *executed* grouped by graph key (so the graph cache
-// turns repeated (family, n, params, seed) cells into one generation) but
-// *reported* in canonical grid order — execution order is invisible in
-// every artifact.
+// shard, cells run on the cell executor (src/campaign/executor.hpp):
+// `jobs` worker threads pull cells off a work-stealing queue seeded in
+// longest-processing-time order by an online-refined cost model, huge
+// cells split into mergeable trial shards, and a reorder buffer stages
+// completed results so checkpoint lines, callbacks, and reports are
+// emitted in canonical grid order — execution order is invisible in
+// every artifact, and `--jobs=1` vs `--jobs=4` are byte-identical.
 //
 // Determinism contract. A cell's aggregate depends only on its key: trial
 // batches run through scenario::run_scenario_trials, whose aggregates are
@@ -35,8 +38,10 @@
 // daemon kill -9 + RESUME replays the full result set.
 //
 // Cancelation. cancel() is thread- and signal-safe (one relaxed atomic
-// store); the run stops after the in-flight cell completes and its
-// checkpoint line is flushed, which is exactly the boundary resume needs.
+// store); workers stop pulling new work, in-flight cells complete, and
+// the contiguous canonical prefix of their results is flushed — exactly
+// the boundary resume needs (at jobs > 1, completed cells stuck behind an
+// unfinished one are discarded and re-run on resume).
 //
 // Checkpoints are append-only JSONL (one completed cell per line, flushed
 // per cell); a campaign killed mid-write leaves at most one torn final
@@ -47,11 +52,13 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -64,8 +71,26 @@ namespace fnr::campaign {
 inline constexpr int kSweepSchemaVersion = 1;
 [[nodiscard]] std::string sweep_schema_tag();
 
+/// Default graph-cache slots — also the capacity the merged report's
+/// canonical "cache" block is simulated at (see to_json).
+inline constexpr std::size_t kDefaultGraphCacheCapacity = 12;
+
 struct CampaignOptions {
-  unsigned threads = 0;  ///< trial-runner pool size; 0 = hardware threads
+  /// Trial-runner pool size *inside* one cell (0 = hardware threads at
+  /// jobs == 1; at jobs > 1 the default drops to 1 thread per cell so the
+  /// box runs jobs × 1 threads — see docs/PERFORMANCE.md for the
+  /// oversubscription math before setting both).
+  unsigned threads = 0;
+  /// Concurrent cells: the executor's worker-pool size (1 = sequential,
+  /// 0 = hardware threads). Any value produces byte-identical checkpoints,
+  /// callbacks, and merged JSON — results are staged and flushed in
+  /// canonical grid order regardless of completion order.
+  unsigned jobs = 1;
+  /// A cell with at least 2 × this many trials may be split into
+  /// contiguous trial shards (never smaller than this) that run on
+  /// different workers and merge through TrialAccumulator — so one
+  /// monster cell cannot serialize a parallel campaign's tail.
+  std::uint64_t min_shard_trials = 32;
   /// This campaign owns grid cells with index % shard_count == shard_index.
   std::uint32_t shard_index = 0;
   std::uint32_t shard_count = 1;
@@ -84,8 +109,12 @@ struct CampaignOptions {
   /// always run scalar). Deliberately NOT part of any cell key.
   std::uint64_t batch = 0;
   /// Generated-topology cache slots (graphs are keyed by
-  /// SweepCell::graph_key(); eviction is least-recently-used).
-  std::size_t graph_cache_capacity = 4;
+  /// SweepCell::graph_key(); eviction is least-recently-used). The default
+  /// covers every predefined spec's distinct keys — cells now execute in
+  /// canonical grid order (which revisits each key once per program ×
+  /// scenario block) rather than grouped by key, so a capacity below the
+  /// distinct-key count would regenerate graphs once per block.
+  std::size_t graph_cache_capacity = kDefaultGraphCacheCapacity;
   /// Per-cell progress lines (nullptr = silent).
   std::ostream* progress = nullptr;
 };
@@ -98,35 +127,60 @@ struct CellResult {
   std::string error;     ///< sanitized CheckError text when !ok
   std::string agg_json;  ///< empty when !ok
   double seconds = 0.0;  ///< wall-clock, informational (checkpoint only)
+  /// Rounds executed across all trials of this cell. Runtime-only (never
+  /// serialized; 0 for restored cells) — the perf suite's campaign cell
+  /// derives its deterministic rounds/sec identity from it.
+  std::uint64_t total_rounds = 0;
   bool from_checkpoint = false;
 };
 
-/// Bounded cache of generated topologies keyed by SweepCell::graph_key().
-/// Entries are heap-allocated, so a returned reference stays valid until
-/// the entry itself is evicted — the campaign runs cells grouped by graph
-/// key, so the in-use graph is always the most recently used.
+/// Bounded, thread-safe cache of generated topologies keyed by
+/// SweepCell::graph_key().
+///
+/// Concurrency contract (the executor runs cells on several workers):
+/// lookups are serialized by a mutex, but generation happens *outside* the
+/// lock under an in-flight marker — concurrent requests for one key block
+/// on a condition variable until the single generating worker publishes
+/// the graph, so a family shared by N parallel cells is generated exactly
+/// once (the hammer test pins this). Eviction is least-recently-used over
+/// *published* entries; in-flight entries are never evicted, and when
+/// every resident entry is in flight the cache temporarily exceeds its
+/// capacity rather than blocking (capacity is a memory hint, not a
+/// correctness bound).
 class GraphCache {
  public:
   explicit GraphCache(std::size_t capacity);
 
-  /// The graph for `cell`, generated on miss (evicting the least-recently-
-  /// used entry when full).
+  /// The graph for `cell`, generated on miss. The reference stays valid
+  /// until the entry is evicted — safe for sequential use; concurrent
+  /// workers must pin via get_shared() instead.
   [[nodiscard]] const graph::Graph& get(const sweep::SweepCell& cell);
 
-  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
-  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+  /// Like get(), but the returned shared_ptr pins the graph across
+  /// eviction: a worker holding it keeps its topology alive even when
+  /// other workers' misses rotate the entry out of the cache.
+  [[nodiscard]] std::shared_ptr<const graph::Graph> get_shared(
+      const sweep::SweepCell& cell);
+
+  [[nodiscard]] std::uint64_t hits() const;
+  [[nodiscard]] std::uint64_t misses() const;
+  [[nodiscard]] std::uint64_t evictions() const;
 
  private:
   struct Entry {
     std::string key;
-    std::unique_ptr<graph::Graph> graph;
+    /// Null while the generating worker builds the graph (in flight).
+    std::shared_ptr<const graph::Graph> graph;
     std::uint64_t last_used = 0;
   };
+  mutable std::mutex mutex_;
+  std::condition_variable published_;
   std::vector<Entry> entries_;
   std::size_t capacity_;
   std::uint64_t tick_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 // --- checkpoints -------------------------------------------------------------
@@ -161,7 +215,12 @@ struct CheckpointEntry {
 
 /// Deterministic merged report: cells sorted by grid index, aggregate
 /// bytes verbatim, no timing fields. Byte-identical for resumed vs
-/// uninterrupted campaigns and for CLI vs daemon execution. Active-fault
+/// uninterrupted campaigns, for CLI vs daemon execution, and for any
+/// --jobs value. The "cache" block is the *canonical* graph-cache workload
+/// of the full grid (an LRU simulation over canonical cell order at the
+/// default capacity) — a deterministic property of the spec, not the live
+/// counters of this particular run, which resume/sharding would perturb
+/// (live counters are reported per run in CampaignRun). Active-fault
 /// cells additionally carry a "fault" field (the plan key) and — when
 /// their fault-free twin cell is present and ok — a "vs_fault_free" block
 /// with the rounds overhead ratio and the success-rate drop; fault-free
@@ -180,16 +239,31 @@ struct CampaignRun {
   /// This shard's cells in canonical grid order. When the campaign was
   /// stopped early (max_cells or cancel), only finished cells are present.
   std::vector<CellResult> cells;
-  std::uint64_t executed = 0;  ///< cells newly run (not restored)
+  std::uint64_t executed = 0;  ///< cells newly run, flushed, and reported
   std::uint64_t restored = 0;  ///< cells restored from the checkpoint
+  /// Cells that finished on a worker but were never flushed: a parallel
+  /// run was cancelled while they sat behind an unfinished cell in the
+  /// reorder buffer. Their work is discarded — flushing them would tear a
+  /// hole in the canonical-prefix checkpoint — and they re-run on resume.
+  /// Always 0 at jobs == 1 (and under max_cells, which restricts the
+  /// schedulable set instead of truncating completions).
+  std::uint64_t discarded = 0;
   bool complete = false;       ///< every cell of this shard has a result
   bool cancelled = false;      ///< run stopped because cancel() was called
+  /// Executor telemetry: cells split into trial shards, total work units
+  /// executed, and rounds summed over newly-run cells (runtime-only).
+  std::uint64_t split_cells = 0;
+  std::uint64_t shards = 0;
+  std::uint64_t total_rounds = 0;
   std::uint64_t graph_cache_hits = 0;
   std::uint64_t graph_cache_misses = 0;
+  std::uint64_t graph_cache_evictions = 0;
 };
 
-/// Invoked once per finished cell, in execution order (restored cells are
-/// replayed through the same callback with from_checkpoint = true). The
+/// Invoked once per finished cell. Restored cells are replayed first, in
+/// canonical grid order, with from_checkpoint = true — always before any
+/// newly-run cell's result flushes (the resume + --jobs contract); newly
+/// run cells then fire in canonical grid order regardless of jobs. The
 /// cell's checkpoint line is already flushed when the callback fires.
 using CellCallback = std::function<void(const CellResult&)>;
 
@@ -215,10 +289,11 @@ class Campaign {
     return cells_;
   }
 
-  /// Executes the shard: restores checkpointed cells, runs the rest
-  /// grouped by graph key, appends + flushes a checkpoint line per cell,
-  /// and invokes `on_cell` for every finished cell. Stops early on
-  /// max_cells or cancel(). Callable once.
+  /// Executes the shard: replays checkpointed cells first (canonical
+  /// order), runs the rest on the cell executor (options.jobs workers,
+  /// results flushed in canonical order), appends + flushes a checkpoint
+  /// line per cell, and invokes `on_cell` for every finished cell. Stops
+  /// early on max_cells or cancel(). Callable once.
   CampaignRun run(const CellCallback& on_cell = {});
 
   /// Requests a stop after the in-flight cell completes (and its

@@ -7,6 +7,7 @@
 #include <sstream>
 #include <utility>
 
+#include "campaign/campaign.hpp"
 #include "core/rendezvous.hpp"
 #include "graph/generators.hpp"
 #include "scenario/program_registry.hpp"
@@ -110,6 +111,59 @@ std::uint64_t swarm_trials_for(const PerfConfig& config) {
   return config.quick ? 8 : 32;
 }
 
+/// One campaign-throughput measurement: the whole campaign machinery —
+/// executor worker pool, work-stealing LPT queue, shared graph cache,
+/// reorder buffer — timed end to end over a pinned heterogeneous grid.
+/// The two cells run the *same* grid and differ only in the executor pool
+/// size, so their trials (grid cells) and total_rounds identity fields
+/// must be equal in every report — the byte-identity contract, visible in
+/// the committed baseline itself. trials_per_sec is the headline
+/// cells-per-second number; rounds_per_sec is what the gate tracks.
+struct CampaignWorkload {
+  std::string label;  ///< the cell's scenario field
+  unsigned jobs;      ///< executor pool size (cells in flight)
+};
+
+const std::vector<CampaignWorkload>& campaign_workloads() {
+  static const std::vector<CampaignWorkload> cells = {
+      {"campaign-mixed-jobs1", 1}, {"campaign-mixed-jobs4", 4}};
+  return cells;
+}
+
+/// The measured grid is pinned here (not resolved through predefined
+/// specs by name) so sweep-spec edits cannot silently change what a
+/// committed cell measured. Quick mode mirrors the CI smoke grid; the
+/// full grid crosses a 16× size spread with a neighborhood-scan-heavy
+/// family against a cheap torus, so the work-stealing schedule has real
+/// imbalance to absorb — the speedup the jobs4 cell exists to track.
+const char* campaign_spec_text(bool quick) {
+  if (quick)
+    return R"(name = perf-campaign-quick
+trials     = 3
+programs   = whiteboard, random-walk
+scenarios  = sync-pair, delayed-pair
+topologies = ring, near-regular:deg=4
+sizes      = 32, 64
+seeds      = 1
+)";
+  return R"(name = perf-campaign
+trials     = 64
+programs   = whiteboard, whiteboard+doubling, random-walk
+scenarios  = sync-pair
+topologies = near-regular:deg=32, torus
+sizes      = 1024, 16384
+seeds      = 7
+)";
+}
+
+const sweep::SweepSpec& campaign_spec(bool quick) {
+  static const sweep::SweepSpec quick_spec =
+      sweep::parse_spec(campaign_spec_text(true));
+  static const sweep::SweepSpec full_spec =
+      sweep::parse_spec(campaign_spec_text(false));
+  return quick ? quick_spec : full_spec;
+}
+
 scenario::Scenario swarm_scenario(const SwarmWorkload& workload) {
   scenario::Scenario scen;
   scen.name = workload.label;
@@ -138,6 +192,17 @@ std::vector<PerfCellSpec> perf_cell_specs(const PerfConfig& config) {
     specs.push_back(PerfCellSpec{"explore-rally", workload.label,
                                  workload.topology, workload.n,
                                  swarm_trials});
+  }
+  // Campaign cells trail the sweep. Their identity is fully pinned by the
+  // grid (config.trials/seed/batch do not apply): trials = grid cell
+  // count, n = the grid's largest requested size.
+  const auto& grid_spec = campaign_spec(config.quick);
+  const std::uint64_t grid_cells = sweep::expand(grid_spec).size();
+  const std::uint64_t max_n =
+      *std::max_element(grid_spec.sizes.begin(), grid_spec.sizes.end());
+  for (const auto& workload : campaign_workloads()) {
+    specs.push_back(
+        PerfCellSpec{"campaign", workload.label, "mixed", max_n, grid_cells});
   }
   return specs;
 }
@@ -173,6 +238,51 @@ PerfReport run_perf_suite(const PerfConfig& config) {
     graphs.emplace_back(topology.label, build_topology(topology.label));
 
   for (const auto& spec : perf_cell_specs(config)) {
+    if (spec.strategy == "campaign") {
+      const auto& workloads = campaign_workloads();
+      const auto workload_it =
+          std::find_if(workloads.begin(), workloads.end(),
+                       [&](const CampaignWorkload& w) {
+                         return w.label == spec.scenario;
+                       });
+      FNR_CHECK_MSG(workload_it != workloads.end(),
+                    "unknown campaign workload '" << spec.scenario << "'");
+      campaign::CampaignOptions options;
+      options.jobs = workload_it->jobs;
+      // One trial thread per worker: these cells measure cell-parallel
+      // scheduling, not the trial pool — config.threads stays out so the
+      // jobs1 / jobs4 pair differ in exactly one variable.
+      options.threads = 1;
+      campaign::Campaign camp(campaign_spec(config.quick), options);
+      const auto start = std::chrono::steady_clock::now();
+      const auto run = camp.run();
+      const auto stop = std::chrono::steady_clock::now();
+      FNR_CHECK_MSG(run.complete, "perf campaign '" << spec.scenario
+                                                    << "' did not complete");
+      const double seconds =
+          std::chrono::duration<double>(stop - start).count();
+      PerfCell cell;
+      cell.strategy = spec.strategy;
+      cell.scenario = spec.scenario;
+      cell.topology = spec.topology;
+      cell.n = spec.n;
+      cell.trials = run.executed;
+      cell.total_rounds = run.total_rounds;
+      std::uint64_t ok_cells = 0;
+      for (const auto& result : run.cells) ok_cells += result.ok ? 1 : 0;
+      cell.success_rate = run.cells.empty()
+                              ? 0.0
+                              : static_cast<double>(ok_cells) /
+                                    static_cast<double>(run.cells.size());
+      cell.seconds = seconds;
+      cell.rounds_per_sec =
+          seconds > 0.0 ? static_cast<double>(cell.total_rounds) / seconds
+                        : 0.0;
+      cell.trials_per_sec =
+          seconds > 0.0 ? static_cast<double>(cell.trials) / seconds : 0.0;
+      report.cells.push_back(std::move(cell));
+      continue;
+    }
     const auto graph_it =
         std::find_if(graphs.begin(), graphs.end(),
                      [&](const auto& entry) {

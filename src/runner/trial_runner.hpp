@@ -158,6 +158,22 @@ class TrialRunner {
   [[nodiscard]] TrialAccumulator run_with_scratch(std::uint64_t n_trials,
                                                   std::uint64_t base_seed,
                                                   Fn&& fn) const {
+    return run_span_with_scratch<Scratch>(0, n_trials, base_seed,
+                                          std::forward<Fn>(fn));
+  }
+
+  /// Span variant of run_with_scratch: executes *global* trial indices
+  /// [first_trial, first_trial + n_trials), each with the seed
+  /// trial_seed(base_seed, global_trial) — exactly the seeds those trials
+  /// would receive in a single full-range run. Campaign cells split into
+  /// trial shards run each shard through this entry and merge the
+  /// accumulators (TrialAccumulator::merge canonicalizes by trial index),
+  /// so the merged aggregate is bit-identical to one unsharded run no
+  /// matter where the span boundaries fall.
+  template <typename Scratch, typename Fn>
+  [[nodiscard]] TrialAccumulator run_span_with_scratch(
+      std::uint64_t first_trial, std::uint64_t n_trials,
+      std::uint64_t base_seed, Fn&& fn) const {
     // Cache-line-aligned slots: workers mutate their scratch every round
     // (e.g. whiteboard access counters), so adjacent slots must not share
     // a line and ping-pong between cores.
@@ -166,14 +182,15 @@ class TrialRunner {
     };
     std::vector<TrialOutcome> slots(n_trials);
     std::vector<Slot> scratches(planned_workers(n_trials));
-    dispatch(n_trials, [&](unsigned worker, std::uint64_t trial) {
+    dispatch(n_trials, [&](unsigned worker, std::uint64_t local) {
       auto& scratch = scratches[worker].scratch;
       if (!scratch.has_value()) scratch.emplace();
+      const std::uint64_t trial = first_trial + local;
       const std::uint64_t seed = trial_seed(base_seed, trial);
       TrialOutcome out = fn(*scratch, trial, seed);
       out.trial = trial;
       out.seed = seed;
-      slots[trial] = out;
+      slots[local] = out;
     });
     TrialAccumulator acc;
     for (auto& out : slots) acc.add(out);
@@ -194,6 +211,22 @@ class TrialRunner {
                                              std::uint64_t base_seed,
                                              std::uint64_t batch_size,
                                              Fn&& fn) const {
+    return run_span_batched<Scratch>(0, n_trials, base_seed, batch_size,
+                                     std::forward<Fn>(fn));
+  }
+
+  /// Span variant of run_batched: blocks cover the *global* trial range
+  /// [first_trial, first_trial + n_trials), and fn receives global first
+  /// indices (it already derives seeds as trial_seed(base_seed, first + j)).
+  /// Block boundaries shift when a cell is sharded, but the batch kernel is
+  /// bit-exact against the scalar path for any grouping, so merged
+  /// aggregates stay byte-identical to an unsharded run.
+  template <typename Scratch, typename Fn>
+  [[nodiscard]] TrialAccumulator run_span_batched(std::uint64_t first_trial,
+                                                  std::uint64_t n_trials,
+                                                  std::uint64_t base_seed,
+                                                  std::uint64_t batch_size,
+                                                  Fn&& fn) const {
     struct alignas(64) Slot {
       std::optional<Scratch> scratch;
     };
@@ -204,13 +237,14 @@ class TrialRunner {
     dispatch(blocks, [&](unsigned worker, std::uint64_t block) {
       auto& scratch = scratches[worker].scratch;
       if (!scratch.has_value()) scratch.emplace();
-      const std::uint64_t first = block * stride;
+      const std::uint64_t local_first = block * stride;
       const std::uint64_t count =
-          first + stride <= n_trials ? stride : n_trials - first;
-      fn(*scratch, first, count, slots.data() + first);
+          local_first + stride <= n_trials ? stride : n_trials - local_first;
+      const std::uint64_t first = first_trial + local_first;
+      fn(*scratch, first, count, slots.data() + local_first);
       for (std::uint64_t j = 0; j < count; ++j) {
-        slots[first + j].trial = first + j;
-        slots[first + j].seed = trial_seed(base_seed, first + j);
+        slots[local_first + j].trial = first + j;
+        slots[local_first + j].seed = trial_seed(base_seed, first + j);
       }
     });
     TrialAccumulator acc;

@@ -151,33 +151,44 @@ runner::TrialAccumulator run_scenario_trials(
     const Scenario& scenario, const Program& program, const graph::Graph& g,
     const ScenarioOptions& options, std::uint64_t n_trials,
     const runner::TrialRunner& trial_runner) {
-  // One SchedulerScratch per worker keeps the batch loop on warm arenas.
-  return trial_runner.run_with_scratch<sim::SchedulerScratch>(
-      n_trials, options.seed,
-      [&](sim::SchedulerScratch& scratch, std::uint64_t trial,
-          std::uint64_t seed) {
-        // Stream 11 draws the instance; the agents split their own streams
-        // from the bare seed inside run_scenario. Both derive only from the
-        // per-trial split seed — bit-identical across thread counts.
-        Rng instance_rng(seed, /*stream=*/11);
-        const auto placement = draw_instance(scenario, g, instance_rng);
-        ScenarioOptions trial_options = options;
-        trial_options.seed = seed;
-        const auto report = run_scenario(scenario, program, g, placement,
-                                         trial_options, scratch);
-        return to_outcome(trial, seed, report.run);
-      });
+  return run_scenario_trial_span(scenario, program, g, options, 0, n_trials,
+                                 trial_runner, /*batch_size=*/0);
 }
 
 runner::TrialAccumulator run_scenario_trials(
     const Scenario& scenario, const Program& program, const graph::Graph& g,
     const ScenarioOptions& options, std::uint64_t n_trials,
     const runner::TrialRunner& trial_runner, std::uint64_t batch_size) {
+  return run_scenario_trial_span(scenario, program, g, options, 0, n_trials,
+                                 trial_runner, batch_size);
+}
+
+runner::TrialAccumulator run_scenario_trial_span(
+    const Scenario& scenario, const Program& program, const graph::Graph& g,
+    const ScenarioOptions& options, std::uint64_t first_trial,
+    std::uint64_t n_trials, const runner::TrialRunner& trial_runner,
+    std::uint64_t batch_size) {
   // Faulty cells keep the scalar oracle: fault sites draw from the session
   // stream in global round order, which a lock-step batch would reorder.
-  if (batch_size <= 1 || options.fault.active())
-    return run_scenario_trials(scenario, program, g, options, n_trials,
-                               trial_runner);
+  // (Per-trial fault streams split off the trial seed, so spans are safe.)
+  if (batch_size <= 1 || options.fault.active()) {
+    // One SchedulerScratch per worker keeps the batch loop on warm arenas.
+    return trial_runner.run_span_with_scratch<sim::SchedulerScratch>(
+        first_trial, n_trials, options.seed,
+        [&](sim::SchedulerScratch& scratch, std::uint64_t trial,
+            std::uint64_t seed) {
+          // Stream 11 draws the instance; the agents split their own streams
+          // from the bare seed inside run_scenario. Both derive only from the
+          // per-trial split seed — bit-identical across thread counts.
+          Rng instance_rng(seed, /*stream=*/11);
+          const auto placement = draw_instance(scenario, g, instance_rng);
+          ScenarioOptions trial_options = options;
+          trial_options.seed = seed;
+          const auto report = run_scenario(scenario, program, g, placement,
+                                           trial_options, scratch);
+          return to_outcome(trial, seed, report.run);
+        });
+  }
 
   // Trial-invariant validation and the round cap, hoisted out of the loop
   // (the scalar path re-derives them per trial with identical results).
@@ -190,8 +201,8 @@ runner::TrialAccumulator run_scenario_trials(
           ? options.max_rounds
           : auto_round_cap(g, scenario, program, options.params);
 
-  return trial_runner.run_batched<sim::BatchSchedulerScratch>(
-      n_trials, options.seed, batch_size,
+  return trial_runner.run_span_batched<sim::BatchSchedulerScratch>(
+      first_trial, n_trials, options.seed, batch_size,
       [&](sim::BatchSchedulerScratch& scratch, std::uint64_t first,
           std::uint64_t count, runner::TrialOutcome* outs) {
         sim::BatchScheduler& kernel = scratch.kernel_for(g, def.model);

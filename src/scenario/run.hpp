@@ -113,4 +113,18 @@ struct ScenarioReport {
     const ScenarioOptions& options, std::uint64_t n_trials,
     const runner::TrialRunner& trial_runner, std::uint64_t batch_size);
 
+/// Span entry: runs *global* trials [first_trial, first_trial + n_trials)
+/// of the cell whose base seed is options.seed. Trial t (global index)
+/// draws everything from trial_seed(options.seed, t) — the same seed it
+/// gets in a full-range run — so a cell split into contiguous spans and
+/// merged through TrialAccumulator::merge aggregates bit-identically to
+/// one unsharded run (the campaign executor's monster-cell path). Faulty
+/// cells shard safely too: fault draws come from per-trial split streams.
+/// Both run_scenario_trials overloads are the first_trial = 0 case.
+[[nodiscard]] runner::TrialAccumulator run_scenario_trial_span(
+    const Scenario& scenario, const Program& program, const graph::Graph& g,
+    const ScenarioOptions& options, std::uint64_t first_trial,
+    std::uint64_t n_trials, const runner::TrialRunner& trial_runner,
+    std::uint64_t batch_size);
+
 }  // namespace fnr::scenario

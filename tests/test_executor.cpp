@@ -1,0 +1,363 @@
+// Cell-executor contract tests: the work-stealing worker pool behind
+// Campaign. The headline contract under test is byte-identity — merged
+// JSON, checkpoint lines (modulo the informational "seconds" field), and
+// callback order must not depend on the executor pool size — plus the
+// LPT cost model, trial-shard splitting, the restored-before-live replay
+// ordering on resume, max_cells prefix semantics, and the once-per-key
+// generation guarantee of the shared graph cache.
+#include "campaign/executor.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "campaign/campaign.hpp"
+#include "sweep/spec.hpp"
+#include "util/check.hpp"
+
+namespace fnr::campaign {
+namespace {
+
+// Mirrors the CI smoke grid: 16 heterogeneous cells across two programs,
+// two scenarios, two families, two sizes — enough shape spread for the
+// LPT queue to schedule out of canonical order at jobs > 1.
+constexpr const char* kGridSpec = R"(
+name       = executor-grid
+trials     = 3
+programs   = whiteboard, random-walk
+scenarios  = sync-pair, delayed-pair
+topologies = ring, near-regular:deg=4
+sizes      = 32, 64
+seeds      = 1
+)";
+
+/// RAII temp file path (removed on destruction).
+class TempPath {
+ public:
+  explicit TempPath(const std::string& name)
+      : path_(testing::TempDir() + name) {
+    std::remove(path_.c_str());
+  }
+  ~TempPath() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& str() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Checkpoint bytes with the wall-clock field removed — the only field
+/// whose value legitimately differs between two runs of the same cells.
+std::string checkpoint_sans_seconds(const std::string& path) {
+  static const std::regex seconds(",\"seconds\":[^,}]*");
+  return std::regex_replace(read_file(path), seconds, "");
+}
+
+std::vector<std::string> canonical_keys(const sweep::SweepSpec& spec) {
+  std::vector<std::string> keys;
+  for (const auto& cell : sweep::expand(spec)) keys.push_back(cell.key());
+  return keys;
+}
+
+struct RunArtifacts {
+  std::string merged_json;
+  std::string checkpoint;  ///< seconds-stripped bytes
+  std::vector<std::string> callback_keys;
+  std::vector<bool> from_checkpoint;
+  CampaignRun run;
+};
+
+RunArtifacts run_campaign(const sweep::SweepSpec& spec,
+                          CampaignOptions options,
+                          const std::string& checkpoint_name) {
+  TempPath checkpoint(checkpoint_name);
+  options.checkpoint_path = checkpoint.str();
+  Campaign campaign(spec, options);
+  RunArtifacts artifacts;
+  artifacts.run = campaign.run([&](const CellResult& result) {
+    artifacts.callback_keys.push_back(result.cell.key());
+    artifacts.from_checkpoint.push_back(result.from_checkpoint);
+  });
+  artifacts.merged_json = to_json(spec, artifacts.run.cells);
+  artifacts.checkpoint = checkpoint_sans_seconds(checkpoint.str());
+  return artifacts;
+}
+
+TEST(CellCostModel, WeightRanksFamilyAndShape) {
+  auto spec = sweep::parse_spec(kGridSpec);
+  const auto cells = sweep::expand(spec);
+
+  // Same program/scenario/size: the neighborhood-scan-heavy near-regular
+  // family must outrank the cheap ring.
+  const sweep::SweepCell* ring = nullptr;
+  const sweep::SweepCell* near_regular = nullptr;
+  const sweep::SweepCell* ring_small = nullptr;
+  for (const auto& cell : cells) {
+    if (cell.program != cells.front().program ||
+        cell.scenario != cells.front().scenario)
+      continue;
+    if (cell.topology.family == "ring" && cell.n == 64) ring = &cell;
+    if (cell.topology.family == "ring" && cell.n == 32) ring_small = &cell;
+    if (cell.topology.family == "near-regular" && cell.n == 64)
+      near_regular = &cell;
+  }
+  ASSERT_NE(ring, nullptr);
+  ASSERT_NE(ring_small, nullptr);
+  ASSERT_NE(near_regular, nullptr);
+  EXPECT_GT(CellCostModel::weight(*near_regular),
+            CellCostModel::weight(*ring));
+  // Bigger graphs cost more at equal trial counts.
+  EXPECT_GT(CellCostModel::weight(*ring), CellCostModel::weight(*ring_small));
+  // More trials cost proportionally more.
+  sweep::SweepCell heavy = *ring;
+  heavy.trials *= 10;
+  EXPECT_GT(CellCostModel::weight(heavy), CellCostModel::weight(*ring));
+}
+
+TEST(CellCostModel, ObservedRatesRefineAndUnobservedExploresFirst) {
+  const auto spec = sweep::parse_spec(kGridSpec);
+  const auto cells = sweep::expand(spec);
+  const sweep::SweepCell* ring = nullptr;
+  const sweep::SweepCell* near_regular = nullptr;
+  for (const auto& cell : cells) {
+    if (cell.program != cells.front().program ||
+        cell.scenario != cells.front().scenario || cell.n != 64)
+      continue;
+    if (cell.topology.family == "ring") ring = &cell;
+    if (cell.topology.family == "near-regular") near_regular = &cell;
+  }
+  ASSERT_NE(ring, nullptr);
+  ASSERT_NE(near_regular, nullptr);
+
+  CellCostModel model;
+  // Before any observation the estimate IS the raw weight.
+  EXPECT_EQ(model.estimate(*ring), CellCostModel::weight(*ring));
+
+  // A measured (program, family) rate rescales its estimate; a family
+  // never observed keeps its raw weight, which dwarfs any realistic
+  // seconds-based estimate — LPT explores unknown cost first.
+  model.observe(*near_regular, 2.0);
+  const double observed = model.estimate(*near_regular);
+  EXPECT_NE(observed, CellCostModel::weight(*near_regular));
+  EXPECT_GT(model.estimate(*ring), observed);
+
+  // The EMA folds further observations in (same cell, slower second run).
+  model.observe(*near_regular, 6.0);
+  EXPECT_GT(model.estimate(*near_regular), observed);
+}
+
+TEST(CellExecutor, ParallelRunMatchesSequentialBytes) {
+  const auto spec = sweep::parse_spec(kGridSpec);
+  CampaignOptions sequential;
+  sequential.jobs = 1;
+  const auto reference = run_campaign(spec, sequential, "exec_seq.jsonl");
+  ASSERT_TRUE(reference.run.complete);
+
+  CampaignOptions parallel;
+  parallel.jobs = 4;
+  const auto candidate = run_campaign(spec, parallel, "exec_par.jsonl");
+  ASSERT_TRUE(candidate.run.complete);
+  EXPECT_EQ(candidate.run.executed, reference.run.executed);
+  EXPECT_EQ(candidate.run.discarded, 0u);
+
+  // The headline contract, all three artifacts: merged JSON, checkpoint
+  // bytes (modulo seconds), and the callback key sequence.
+  EXPECT_EQ(candidate.merged_json, reference.merged_json);
+  EXPECT_EQ(candidate.checkpoint, reference.checkpoint);
+  EXPECT_EQ(candidate.callback_keys, reference.callback_keys);
+  // And that order is the canonical grid order, not merely *an* order.
+  EXPECT_EQ(reference.callback_keys, canonical_keys(spec));
+  // The deterministic workload telemetry agrees too.
+  EXPECT_EQ(candidate.run.total_rounds, reference.run.total_rounds);
+}
+
+TEST(CellExecutor, MonsterCellSplitsIntoMergedShards) {
+  // One 256-trial cell: at jobs=4 with the default 32-trial shard floor it
+  // must split, run on several workers, and merge to the sequential bytes.
+  const auto spec = sweep::parse_spec(R"(
+name       = monster
+trials     = 256
+programs   = whiteboard
+scenarios  = sync-pair
+topologies = near-regular:deg=4
+sizes      = 64
+seeds      = 1
+)");
+  CampaignOptions sequential;
+  sequential.jobs = 1;
+  const auto reference = run_campaign(spec, sequential, "monster_seq.jsonl");
+
+  CampaignOptions parallel;
+  parallel.jobs = 4;
+  const auto candidate = run_campaign(spec, parallel, "monster_par.jsonl");
+  ASSERT_TRUE(candidate.run.complete);
+  EXPECT_EQ(candidate.run.split_cells, 1u);
+  EXPECT_GT(candidate.run.shards, 1u);
+  EXPECT_EQ(candidate.merged_json, reference.merged_json);
+  EXPECT_EQ(candidate.checkpoint, reference.checkpoint);
+  EXPECT_EQ(candidate.run.total_rounds, reference.run.total_rounds);
+}
+
+TEST(CellExecutor, RestoredCellsReplayBeforeAnyLiveCell) {
+  // The resume + --jobs contract: every checkpointed cell replays through
+  // the callback, in canonical order, before the first live cell flushes —
+  // a streaming consumer sees one canonical sequence, never interleaving.
+  const auto spec = sweep::parse_spec(kGridSpec);
+  TempPath checkpoint("exec_replay.jsonl");
+
+  CampaignOptions pause;
+  pause.jobs = 4;
+  pause.max_cells = 3;
+  pause.checkpoint_path = checkpoint.str();
+  Campaign paused(spec, pause);
+  (void)paused.run();
+
+  CampaignOptions resume;
+  resume.jobs = 4;
+  resume.resume = true;
+  resume.checkpoint_path = checkpoint.str();
+  Campaign resumed(spec, resume);
+  std::vector<std::string> keys;
+  std::vector<bool> restored;
+  const CampaignRun run = resumed.run([&](const CellResult& result) {
+    keys.push_back(result.cell.key());
+    restored.push_back(result.from_checkpoint);
+  });
+  EXPECT_TRUE(run.complete);
+  EXPECT_EQ(run.restored, 3u);
+  ASSERT_EQ(restored.size(), keys.size());
+  // Prefix property: restored flags are monotonically true-then-false.
+  for (std::size_t i = 0; i < restored.size(); ++i)
+    EXPECT_EQ(restored[i], i < 3) << "callback " << i;
+  EXPECT_EQ(keys, canonical_keys(spec));
+}
+
+TEST(CellExecutor, MaxCellsRunsTheCanonicalPrefixWithoutDiscards) {
+  // max_cells restricts the schedulable set, so even at jobs=4 — where the
+  // LPT queue would otherwise start the most expensive cells first — the
+  // executed set is exactly the first N canonical cells and no completed
+  // work is thrown away.
+  const auto spec = sweep::parse_spec(kGridSpec);
+  CampaignOptions options;
+  options.jobs = 4;
+  options.max_cells = 5;
+  const auto artifacts = run_campaign(spec, options, "exec_prefix.jsonl");
+  EXPECT_EQ(artifacts.run.executed, 5u);
+  EXPECT_EQ(artifacts.run.discarded, 0u);
+  EXPECT_FALSE(artifacts.run.complete);
+  const auto keys = canonical_keys(spec);
+  ASSERT_GE(keys.size(), 5u);
+  EXPECT_EQ(artifacts.callback_keys,
+            std::vector<std::string>(keys.begin(), keys.begin() + 5));
+}
+
+TEST(CellExecutor, SharedTopologyIsGeneratedOnceUnderHammer) {
+  // Every cell of this grid shares one graph key; four workers racing for
+  // it must produce exactly one generation (the in-flight marker makes the
+  // others wait instead of regenerating) and zero evictions.
+  const auto spec = sweep::parse_spec(R"(
+name       = hammer
+trials     = 2
+programs   = whiteboard, whiteboard+doubling, no-whiteboard, random-walk
+scenarios  = sync-pair, delayed-pair
+topologies = near-regular:deg=4
+sizes      = 32
+seeds      = 1
+)");
+  CampaignOptions options;
+  options.jobs = 4;
+  const auto artifacts = run_campaign(spec, options, "exec_hammer.jsonl");
+  ASSERT_TRUE(artifacts.run.complete);
+  const std::uint64_t cells = artifacts.run.executed;
+  ASSERT_GE(cells, 4u);
+  EXPECT_EQ(artifacts.run.graph_cache_misses, 1u);
+  EXPECT_EQ(artifacts.run.graph_cache_hits, cells - 1);
+  EXPECT_EQ(artifacts.run.graph_cache_evictions, 0u);
+}
+
+TEST(CellExecutor, CancelMidParallelResumesToIdenticalBytes) {
+  const auto spec = sweep::parse_spec(kGridSpec);
+  CampaignOptions sequential;
+  sequential.jobs = 1;
+  const auto reference = run_campaign(spec, sequential, "exec_ref.jsonl");
+
+  // Cancel from the first callback of a jobs=4 run: workers may have
+  // several more cells in flight or staged out of order; everything not in
+  // the flushed canonical prefix must be discarded, not torn.
+  TempPath checkpoint("exec_cancel.jsonl");
+  CampaignOptions options;
+  options.jobs = 4;
+  options.checkpoint_path = checkpoint.str();
+  Campaign interrupted(spec, options);
+  const CampaignRun first =
+      interrupted.run([&](const CellResult&) { interrupted.cancel(); });
+  EXPECT_TRUE(first.cancelled);
+  // Workers only observe the cancel at unit boundaries, so on a fast box
+  // every cell may already be staged when the first callback fires and
+  // the run legitimately completes. Either way the invariants hold: the
+  // flushed cells are a canonical prefix, and resume rebuilds the
+  // reference bytes from whatever the checkpoint holds.
+  ASSERT_GE(first.cells.size(), 1u);
+  // Whatever was flushed is a canonical prefix.
+  const auto keys = canonical_keys(spec);
+  for (std::size_t i = 0; i < first.cells.size(); ++i)
+    EXPECT_EQ(first.cells[i].cell.key(), keys[i]);
+
+  CampaignOptions resume_options = options;
+  resume_options.resume = true;
+  Campaign resumed(spec, resume_options);
+  const CampaignRun second = resumed.run();
+  EXPECT_TRUE(second.complete);
+  EXPECT_EQ(second.restored, first.cells.size());
+  EXPECT_EQ(to_json(spec, second.cells), reference.merged_json);
+}
+
+TEST(CellExecutor, FailedCellsFlowThroughUnchangedAtAnyJobs) {
+  // A cell whose run throws CheckError becomes an ok=false result (the
+  // batch keeps going) — and the error artifact is identical across pool
+  // sizes like any other cell. expand() never emits an unrunnable cell,
+  // so tamper one: an unknown scenario name fails deterministically at
+  // find_scenario, the same catch boundary every runtime failure hits.
+  const auto spec = sweep::parse_spec(kGridSpec);
+  auto cells = sweep::expand(spec);
+  ASSERT_GE(cells.size(), 3u);
+  cells[2].scenario = "no-such-scenario";
+
+  const auto run_at = [&](unsigned jobs) {
+    ExecutorOptions options;
+    options.jobs = jobs;
+    CellExecutor executor(options);
+    std::vector<CellResult> results;
+    std::atomic<bool> cancel{false};
+    (void)executor.run(
+        cells, [&](CellResult&& r) { results.push_back(std::move(r)); },
+        cancel);
+    return results;
+  };
+  const auto sequential = run_at(1);
+  const auto parallel = run_at(4);
+  ASSERT_EQ(sequential.size(), cells.size());
+  ASSERT_EQ(parallel.size(), cells.size());
+  EXPECT_FALSE(sequential[2].ok);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(parallel[i].cell.key(), sequential[i].cell.key());
+    EXPECT_EQ(parallel[i].ok, sequential[i].ok);
+    EXPECT_EQ(parallel[i].error, sequential[i].error);
+    EXPECT_EQ(parallel[i].agg_json, sequential[i].agg_json);
+  }
+}
+
+}  // namespace
+}  // namespace fnr::campaign

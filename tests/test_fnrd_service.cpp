@@ -43,8 +43,9 @@ seeds      = 1
 /// One in-process daemon on a fresh workdir + socket, torn down cleanly.
 class DaemonFixture {
  public:
-  explicit DaemonFixture(const std::string& tag, unsigned workers = 2)
-      : workdir_(testing::TempDir() + "fnrd_" + tag) {
+  explicit DaemonFixture(const std::string& tag, unsigned workers = 2,
+                         unsigned jobs = 1)
+      : workdir_(testing::TempDir() + "fnrd_" + tag), jobs_(jobs) {
     std::filesystem::remove_all(workdir_);
     std::filesystem::create_directories(workdir_);
     DaemonOptions options;
@@ -52,6 +53,7 @@ class DaemonFixture {
     options.workdir = workdir_;
     options.workers = workers;
     options.threads = 2;
+    options.jobs = jobs_;
     daemon_ = std::make_unique<Daemon>(options);
     thread_ = std::thread([this] { daemon_->run(); });
   }
@@ -78,6 +80,7 @@ class DaemonFixture {
     options.workdir = workdir_;
     options.workers = 2;
     options.threads = 2;
+    options.jobs = jobs_;
     daemon_ = std::make_unique<Daemon>(options);
     thread_ = std::thread([this] { daemon_->run(); });
   }
@@ -99,6 +102,7 @@ class DaemonFixture {
 
  private:
   std::string workdir_;
+  unsigned jobs_ = 1;
   std::unique_ptr<Daemon> daemon_;
   std::thread thread_;
 };
@@ -197,6 +201,26 @@ TEST(FnrdService, ServesTwoConcurrentCampaignsWithStreamedResults) {
     EXPECT_NE(payload.find(expected), std::string::npos)
         << "report for " << name << " diverges from the batch bytes";
   }
+}
+
+TEST(FnrdService, ParallelExecutorStreamsIdenticalFrameSequence) {
+  // A daemon running its campaigns on the jobs=4 cell executor must
+  // stream the exact frame sequence of a sequential daemon: cell frames
+  // append to the replay log in the executor's canonical flush order, so
+  // the pool size is invisible on the wire.
+  const auto frames_at = [](const std::string& tag, unsigned jobs) {
+    DaemonFixture daemon(tag, 2, jobs);
+    Connection submit = daemon.connect();
+    submit.send(serialize_request(submit_request("gamma")));
+    EXPECT_EQ(frame_type(submit.recv()), "submitted");
+    Connection stream = daemon.connect();
+    return stream_to_end(stream, "gamma");
+  };
+  const auto sequential = frames_at("frames_j1", 1);
+  const auto parallel = frames_at("frames_j4", 4);
+  const auto grid = sweep::expand(sweep::parse_spec(kServiceSpec));
+  EXPECT_EQ(sequential.size(), grid.size());
+  EXPECT_EQ(parallel, sequential);
 }
 
 TEST(FnrdService, MidStreamDisconnectLosesNothing) {

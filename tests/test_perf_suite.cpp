@@ -28,15 +28,23 @@ TEST(PerfSuite, CellSpecsAreDeterministicAndStrategyMajor) {
   EXPECT_EQ(first, second);
   ASSERT_FALSE(first.empty());
   // Strategy-major sweep: every topology of one strategy precedes the next
-  // strategy (the canonical BENCH_perf.json ordering). Swarm cells trail
-  // the strategy sweep and are the only cells with a scenario label.
+  // strategy (the canonical BENCH_perf.json ordering). Swarm cells follow
+  // the strategy sweep; campaign-executor cells trail everything.
   EXPECT_EQ(first.front().strategy, "whiteboard");
   EXPECT_TRUE(first.front().scenario.empty());
-  EXPECT_EQ(first.back().strategy, "explore-rally");
-  EXPECT_EQ(first.back().scenario, "swarm-quorum-k16");
+  ASSERT_GE(first.size(), 4u);
+  const auto& swarm = first[first.size() - 3];
+  EXPECT_EQ(swarm.strategy, "explore-rally");
+  EXPECT_EQ(swarm.scenario, "swarm-quorum-k16");
+  EXPECT_EQ(first[first.size() - 2].scenario, "campaign-mixed-jobs1");
+  EXPECT_EQ(first.back().strategy, "campaign");
+  EXPECT_EQ(first.back().scenario, "campaign-mixed-jobs4");
+  // The two campaign cells run the same pinned grid: identical trial
+  // identity, independent of config.trials (which sizes the other cells).
+  EXPECT_EQ(first[first.size() - 2].trials, first.back().trials);
   for (const auto& spec : first) {
     EXPECT_GT(spec.n, 0u);
-    EXPECT_EQ(spec.trials, 2u);
+    if (spec.strategy != "campaign") EXPECT_EQ(spec.trials, 2u);
   }
 }
 
@@ -52,6 +60,17 @@ TEST(PerfSuite, ReportCellsMatchSpecOrder) {
     EXPECT_EQ(report.cells[i].n, specs[i].n);
     EXPECT_EQ(report.cells[i].trials, specs[i].trials);
   }
+  // The jobs1 / jobs4 campaign cells executed the same pinned grid, so
+  // every workload-identity field agrees — the executor's byte-identity
+  // contract, visible in the report itself.
+  const auto& jobs1 = report.cells[report.cells.size() - 2];
+  const auto& jobs4 = report.cells.back();
+  EXPECT_EQ(jobs1.scenario, "campaign-mixed-jobs1");
+  EXPECT_EQ(jobs4.scenario, "campaign-mixed-jobs4");
+  EXPECT_EQ(jobs1.trials, jobs4.trials);
+  EXPECT_EQ(jobs1.total_rounds, jobs4.total_rounds);
+  EXPECT_EQ(jobs1.success_rate, jobs4.success_rate);
+  EXPECT_GT(jobs1.total_rounds, 0u);
 }
 
 TEST(PerfSuite, WorkloadAggregatesAreThreadCountInvariant) {
@@ -220,8 +239,8 @@ TEST(PerfSuite, GateRejectsIdentityAndWorkloadDrift) {
   renamed.cells[0].topology = "other-topology";
   EXPECT_FALSE(perf::gate_against_baseline(base, renamed, 0.30).ok());
   auto swarm_renamed = base;
-  ASSERT_EQ(swarm_renamed.cells.back().scenario, "swarm-quorum-k16");
-  swarm_renamed.cells.back().scenario = "other-swarm";
+  ASSERT_EQ(swarm_renamed.cells.back().scenario, "campaign-mixed-jobs4");
+  swarm_renamed.cells.back().scenario = "other-workload";
   EXPECT_FALSE(perf::gate_against_baseline(base, swarm_renamed, 0.30).ok());
   auto drifted = base;
   drifted.cells[0].total_rounds += 1;
